@@ -1,0 +1,50 @@
+// Fig. 5 — path-delay distribution of the 16x16 AM, column-bypassing and
+// row-bypassing multipliers over 65536 random input patterns.
+//
+// Paper: max path delay 1.32 ns (AM), 1.88 ns (CB), 1.82 ns (RB); >98% of
+// AM paths below 0.7 ns; >93% (CB) and >98% (RB) below 0.9 ns.
+
+#include "bench/common.hpp"
+#include "src/workload/histogram.hpp"
+
+using namespace agingsim;
+
+int main() {
+  bench::preamble("Fig. 5",
+                  "path-delay distribution, 16x16 AM / CB / RB, 65536 "
+                  "uniform patterns");
+  const TechLibrary& tech = bench::tech();
+  const std::size_t kPatterns = 65536;
+
+  Table t("Path delay summary (ns)",
+          {"arch", "STA critical", "observed max", "mean", "p50", "p95",
+           "frac < 0.7ns", "frac < 0.9ns", "paper critical"});
+  const double paper_crit[] = {1.32, 1.88, 1.82};
+
+  int idx = 0;
+  for (auto arch : {MultiplierArch::kArray, MultiplierArch::kColumnBypass,
+                    MultiplierArch::kRowBypass}) {
+    const MultiplierNetlist m = build_multiplier(arch, 16);
+    const double crit = critical_path_ps(m, tech);
+    const auto trace =
+        compute_op_trace(m, tech, bench::workload(16, kPatterns));
+    Histogram h(0.0, crit, 25);
+    for (const auto& op : trace) h.add(op.delay_ps);
+    t.add_row({arch_name(arch), Table::fmt(bench::ns(crit), 2),
+               Table::fmt(bench::ns(h.max_sample()), 2),
+               Table::fmt(bench::ns(h.mean()), 2),
+               Table::fmt(bench::ns(h.percentile(0.5)), 2),
+               Table::fmt(bench::ns(h.percentile(0.95)), 2),
+               Table::pct(h.fraction_below(700.0), 1),
+               Table::pct(h.fraction_below(900.0), 1),
+               Table::fmt(paper_crit[idx++], 2)});
+    std::printf("%s delay histogram (ps):\n%s\n", arch_name(arch),
+                h.render(48).c_str());
+  }
+  t.print(std::cout);
+  std::printf(
+      "Reproduction target: the overwhelming majority of paths settle far\n"
+      "below the critical path for all three architectures — the premise\n"
+      "of the variable-latency design.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6 — delay distribution of the 16x16 column-bypassing multiplier
+// under three different numbers of zeros in the multiplicand (6, 8, 10),
+// 3000 randomly selected patterns each.
+//
+// Paper: as the number of zeros increases, the distribution left-shifts and
+// the average delay falls (more columns bypassed => shorter paths).
+
+#include "bench/common.hpp"
+#include "src/workload/histogram.hpp"
+
+using namespace agingsim;
+
+int main() {
+  bench::preamble("Fig. 6",
+                  "16x16 CB delay distribution vs #zeros in multiplicand");
+  const TechLibrary& tech = bench::tech();
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const double crit = critical_path_ps(m, tech);
+
+  Table t("Delay vs multiplicand zeros (3000 patterns each)",
+          {"zeros in multiplicand", "mean delay (ns)", "p50 (ns)", "p95 (ns)",
+           "max (ns)"});
+  for (int zeros : {6, 8, 10}) {
+    Rng rng(0xF16 + zeros);
+    const auto pats = patterns_with_multiplicand_zeros(rng, 16, zeros, 3000);
+    const auto trace = compute_op_trace(m, tech, pats);
+    Histogram h(0.0, crit, 25);
+    for (const auto& op : trace) h.add(op.delay_ps);
+    t.add_row({std::to_string(zeros), Table::fmt(bench::ns(h.mean()), 3),
+               Table::fmt(bench::ns(h.percentile(0.5)), 3),
+               Table::fmt(bench::ns(h.percentile(0.95)), 3),
+               Table::fmt(bench::ns(h.max_sample()), 3)});
+    std::printf("zeros=%d histogram (ps):\n%s\n", zeros, h.render(48).c_str());
+  }
+  t.print(std::cout);
+  std::printf(
+      "Reproduction target: mean/median/p95 all fall as zeros increase —\n"
+      "the multiplicand drives the bypass selects, so sparser multiplicands\n"
+      "skip more adders. This is why zero-counting predicts cycle needs.\n");
+  return 0;
+}

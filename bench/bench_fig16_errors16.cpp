@@ -1,0 +1,45 @@
+// Fig. 16 — error count in 10000 cycles for the 16x16 variable-latency
+// bypassing multipliers under three skip numbers, over the cycle-period
+// sweep. (a) A-VLCB, (b) A-VLRB.
+//
+// Paper: the smaller the skip number, the more errors at small cycle
+// periods; above ~0.85 ns the three scenarios have similarly few errors.
+
+#include "bench/common.hpp"
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+int main() {
+  preamble("Fig. 16", "Razor error count per 10000 ops, 16x16, Skip-7/8/9");
+  const ArchSet s = make_arch_set(16, default_ops());
+  const auto periods = linspace(550.0, 1350.0, 17);
+
+  for (bool row : {false, true}) {
+    const MultiplierNetlist& m = row ? s.rb : s.cb;
+    const auto& trace = row ? s.rb_trace : s.cb_trace;
+    std::vector<std::vector<RunStats>> by_skip;
+    // Error characterization uses the traditional (non-adaptive) design:
+    // the AHL would otherwise switch blocks mid-run and hide the error
+    // profile the figure characterizes.
+    for (int skip : {7, 8, 9}) {
+      by_skip.push_back(sweep_periods(m, trace, periods, skip, false));
+    }
+    Table t(std::string("16x16 ") + (row ? "VLRB" : "VLCB") +
+                " errors per 10000 ops",
+            {"period (ns)", "Skip-7", "Skip-8", "Skip-9"});
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      t.add_row({Table::fmt(ns(periods[i]), 2),
+                 Table::fmt(by_skip[0][i].errors_per_10k_ops, 0),
+                 Table::fmt(by_skip[1][i].errors_per_10k_ops, 0),
+                 Table::fmt(by_skip[2][i].errors_per_10k_ops, 0)});
+    }
+    t.print(std::cout);
+  }
+  std::printf(
+      "Reproduction targets: errors fall monotonically with the period;\n"
+      "Skip-7 > Skip-8 > Skip-9 at short periods (the extra one-cycle\n"
+      "patterns of a small skip are precisely the slowest ones); all three\n"
+      "converge to ~zero in the preferred band.\n");
+  return 0;
+}

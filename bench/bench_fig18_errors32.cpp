@@ -1,0 +1,37 @@
+// Fig. 18 — error count in 10000 cycles for the 32x32 variable-latency
+// bypassing multipliers under Skip-15/16/17 over the cycle-period sweep.
+
+#include "bench/common.hpp"
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+int main() {
+  preamble("Fig. 18", "Razor error count per 10000 ops, 32x32, Skip-15/16/17");
+  const ArchSet s = make_arch_set(32, default_ops());
+  const auto periods = linspace(1100.0, 2600.0, 16);
+
+  for (bool row : {false, true}) {
+    const MultiplierNetlist& m = row ? s.rb : s.cb;
+    const auto& trace = row ? s.rb_trace : s.cb_trace;
+    std::vector<std::vector<RunStats>> by_skip;
+    for (int skip : {15, 16, 17}) {
+      by_skip.push_back(sweep_periods(m, trace, periods, skip, false));
+    }
+    Table t(std::string("32x32 ") + (row ? "VLRB" : "VLCB") +
+                " errors per 10000 ops",
+            {"period (ns)", "Skip-15", "Skip-16", "Skip-17"});
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      t.add_row({Table::fmt(ns(periods[i]), 2),
+                 Table::fmt(by_skip[0][i].errors_per_10k_ops, 0),
+                 Table::fmt(by_skip[1][i].errors_per_10k_ops, 0),
+                 Table::fmt(by_skip[2][i].errors_per_10k_ops, 0)});
+    }
+    t.print(std::cout);
+  }
+  std::printf(
+      "Reproduction targets: Skip-15 exhibits the most errors at short\n"
+      "periods and all scenarios converge to ~zero at long ones — the\n"
+      "mechanism behind the Fig. 17 latency crossover.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figs. 19-22 — error-count comparison between the traditional
+// variable-latency designs (T-VLCB / T-VLRB: one judging block, no
+// adaptation) and the proposed adaptive designs (A-VLCB / A-VLRB) on the
+// 7-year-aged circuits:
+//   Fig. 19: 16x16 CB    Fig. 20: 32x32 CB
+//   Fig. 21: 16x16 RB    Fig. 22: 32x32 RB
+//
+// Paper: the adaptive design's error count is smaller because the AHL can
+// demote marginal one-cycle patterns to two cycles once errors exceed the
+// 10% indicator threshold; the traditional design cannot.
+
+#include "bench/common.hpp"
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+namespace {
+
+void run_panel(const char* fig, int width, MultiplierArch arch, int skip,
+               double period_lo_ps, double period_hi_ps) {
+  const MultiplierNetlist m = build_multiplier(arch, width);
+  const BtiModel model = BtiModel::calibrated(tech());
+  AgingScenario scenario(m.netlist, tech(), model, 0x19F2, 1000);
+  const auto scales = scenario.delay_scales_at(7.0);
+  const auto pats = workload(width, default_ops());
+  const auto aged_trace = compute_op_trace(m, tech(), pats, scales);
+  const double dvth = scenario.mean_dvth_at(7.0);
+
+  const auto periods = linspace(period_lo_ps, period_hi_ps, 11);
+  const auto trad = sweep_periods(m, aged_trace, periods, skip, false, dvth);
+  const auto adap = sweep_periods(m, aged_trace, periods, skip, true, dvth);
+
+  Table t(std::string(fig) + ": " + std::to_string(width) + "x" +
+              std::to_string(width) + " " + arch_name(arch) + " Skip-" +
+              std::to_string(skip) + ", aged 7 years — errors per 10000 ops",
+          {"period (ns)", "T-VL", "A-VL", "A-VL switched block",
+           "A-VL latency vs T-VL"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    t.add_row({Table::fmt(ns(periods[i]), 2),
+               Table::fmt(trad[i].errors_per_10k_ops, 0),
+               Table::fmt(adap[i].errors_per_10k_ops, 0),
+               adap[i].switched_to_second_block ? "yes" : "no",
+               Table::pct(adap[i].avg_latency_ps / trad[i].avg_latency_ps -
+                              1.0,
+                          1)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  preamble("Figs. 19-22",
+           "error count, traditional vs adaptive variable latency, aged");
+  run_panel("Fig. 19", 16, MultiplierArch::kColumnBypass, 7, 550.0, 1350.0);
+  run_panel("Fig. 21", 16, MultiplierArch::kRowBypass, 7, 550.0, 1350.0);
+  run_panel("Fig. 20", 32, MultiplierArch::kColumnBypass, 15, 1100.0,
+            2600.0);
+  run_panel("Fig. 22", 32, MultiplierArch::kRowBypass, 15, 1100.0, 2600.0);
+  std::printf(
+      "Reproduction targets: wherever the aged error rate crosses the AHL's\n"
+      "10%% indicator threshold the adaptive design switches to the stricter\n"
+      "judging block and its error count drops well below the traditional\n"
+      "design's; at generous periods the two coincide (no switch needed).\n");
+  return 0;
+}

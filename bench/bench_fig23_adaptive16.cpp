@@ -1,0 +1,72 @@
+// Fig. 23 — average latency comparison between the 16x16 adaptive and
+// traditional variable-latency multipliers on the 7-year-aged circuit,
+// panels (a) Skip-7, (b) Skip-8, (c) Skip-9; aging-indicator threshold 10%.
+//
+// Paper: the adaptive design's latency is equal to or better than the
+// traditional design's, with the largest improvement at short cycle
+// periods where timing violations are frequent.
+
+#include "bench/common.hpp"
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+namespace {
+
+struct AgedArch {
+  MultiplierNetlist mult;
+  std::vector<OpTrace> trace;
+  double dvth;
+  double fl_period_ps;  // aged critical path: fixed designs must guard-band
+};
+
+AgedArch make_aged(MultiplierArch arch, int width) {
+  AgedArch a{build_multiplier(arch, width), {}, 0.0, 0.0};
+  const BtiModel model = BtiModel::calibrated(tech());
+  AgingScenario scenario(a.mult.netlist, tech(), model, 0x23F1, 1000);
+  const auto scales = scenario.delay_scales_at(7.0);
+  a.trace =
+      compute_op_trace(a.mult, tech(), workload(width, default_ops()), scales);
+  a.dvth = scenario.mean_dvth_at(7.0);
+  a.fl_period_ps = critical_path_ps(a.mult, tech(), scales);
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  preamble("Fig. 23",
+           "avg latency, adaptive vs traditional VL, 16x16, aged 7 years");
+  const AgedArch cb = make_aged(MultiplierArch::kColumnBypass, 16);
+  const AgedArch rb = make_aged(MultiplierArch::kRowBypass, 16);
+  std::printf("Aged fixed-latency baselines (ns): FLCB %.2f   FLRB %.2f\n\n",
+              ns(cb.fl_period_ps), ns(rb.fl_period_ps));
+
+  const auto periods = linspace(600.0, 1350.0, 16);
+  for (int skip : {7, 8, 9}) {
+    const auto t_cb = sweep_periods(cb.mult, cb.trace, periods, skip, false,
+                                    cb.dvth);
+    const auto a_cb = sweep_periods(cb.mult, cb.trace, periods, skip, true,
+                                    cb.dvth);
+    const auto t_rb = sweep_periods(rb.mult, rb.trace, periods, skip, false,
+                                    rb.dvth);
+    const auto a_rb = sweep_periods(rb.mult, rb.trace, periods, skip, true,
+                                    rb.dvth);
+    Table t("Skip-" + std::to_string(skip) + " avg latency (ns), aged",
+            {"period", "T-VLCB", "A-VLCB", "T-VLRB", "A-VLRB"});
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+      t.add_row({Table::fmt(ns(periods[i]), 2),
+                 Table::fmt(ns(t_cb[i].avg_latency_ps), 3),
+                 Table::fmt(ns(a_cb[i].avg_latency_ps), 3),
+                 Table::fmt(ns(t_rb[i].avg_latency_ps), 3),
+                 Table::fmt(ns(a_rb[i].avg_latency_ps), 3)});
+    }
+    t.print(std::cout);
+  }
+  std::printf(
+      "Reproduction targets: A-VL <= T-VL everywhere; the gap opens at\n"
+      "short periods (frequent violations => the AHL's stricter second\n"
+      "judging block avoids 3-cycle re-execution penalties) and closes at\n"
+      "long periods (no violations => no switch).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 25 — area overhead in transistors for the AM, FLCB, A-VLCB, FLRB and
+// A-VLRB in 16x16 and 32x32 multipliers, normalized to the AM.
+//
+// Paper: at 16x16 the A-VLCB / A-VLRB are 22.9% / 23.5% larger than the
+// FLCB / FLRB; at 32x32 only 12.3% / 5.7% — the AHL and Razor flip-flops
+// amortize over larger arrays.
+
+#include "bench/common.hpp"
+#include "src/core/area.hpp"
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+int main() {
+  preamble("Fig. 25", "area (transistors), normalized to the AM");
+
+  for (int width : {16, 32}) {
+    const MultiplierNetlist am = build_array_multiplier(width);
+    const MultiplierNetlist cb = build_column_bypass_multiplier(width);
+    const MultiplierNetlist rb = build_row_bypass_multiplier(width);
+    const AreaBreakdown am_a = fixed_latency_area(am);
+    const AreaBreakdown flcb = fixed_latency_area(cb);
+    const AreaBreakdown avlcb = variable_latency_area(cb);
+    const AreaBreakdown flrb = fixed_latency_area(rb);
+    const AreaBreakdown avlrb = variable_latency_area(rb);
+    const double base = static_cast<double>(am_a.total());
+
+    Table t(std::to_string(width) + "x" + std::to_string(width) +
+                " area breakdown (transistors)",
+            {"design", "combinational", "input FFs", "output FFs", "AHL",
+             "total", "vs AM"});
+    const auto row = [&](const char* name, const AreaBreakdown& a) {
+      t.add_row({name, Table::num(a.combinational),
+                 Table::num(a.input_registers), Table::num(a.output_registers),
+                 Table::num(a.ahl), Table::num(a.total()),
+                 Table::fmt(static_cast<double>(a.total()) / base, 3)});
+    };
+    row("AM", am_a);
+    row("FLCB", flcb);
+    row("A-VLCB", avlcb);
+    row("FLRB", flrb);
+    row("A-VLRB", avlrb);
+    t.print(std::cout);
+
+    std::printf(
+        "%dx%d variable-latency overhead: A-VLCB %+0.1f%% vs FLCB, "
+        "A-VLRB %+0.1f%% vs FLRB   (paper 16x16: +22.9%% / +23.5%%, "
+        "32x32: +12.3%% / +5.7%%)\n\n",
+        width, width,
+        100.0 * (static_cast<double>(avlcb.total()) / flcb.total() - 1.0),
+        100.0 * (static_cast<double>(avlrb.total()) / flrb.total() - 1.0));
+  }
+  std::printf(
+      "Reproduction targets: bypassing multipliers larger than the AM;\n"
+      "variable-latency versions larger still; the overhead *ratio* shrinks\n"
+      "from 16x16 to 32x32 because AHL + Razor area grows only linearly in\n"
+      "the width while the array grows quadratically.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate itself:
+// netlist generation, static timing, per-pattern simulation throughput, and
+// the architectural policy replay. These are the costs a user of the
+// library pays, independent of any paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace agingsim;
+using namespace agingsim::bench;
+
+void BM_BuildMultiplier(benchmark::State& state) {
+  const auto arch = static_cast<MultiplierArch>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_multiplier(arch, width));
+  }
+  state.SetLabel(std::string(arch_name(arch)) + " " + std::to_string(width) +
+                 "x" + std::to_string(width));
+}
+BENCHMARK(BM_BuildMultiplier)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({1, 32});
+
+void BM_Sta(benchmark::State& state) {
+  const MultiplierNetlist m =
+      build_column_bypass_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critical_path_ps(m, tech()));
+  }
+}
+BENCHMARK(BM_Sta)->Arg(16)->Arg(32);
+
+void BM_PatternSimulation(benchmark::State& state) {
+  const auto arch = static_cast<MultiplierArch>(state.range(0));
+  const int width = static_cast<int>(state.range(1));
+  const MultiplierNetlist m = build_multiplier(arch, width);
+  MultiplierSim sim(m, tech());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.apply(rng.next_bits(width), rng.next_bits(width)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(arch_name(arch)) + " " + std::to_string(width) +
+                 "x" + std::to_string(width));
+}
+BENCHMARK(BM_PatternSimulation)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({0, 32})
+    ->Args({1, 32})
+    ->Args({2, 32});
+
+void BM_PolicyReplay(benchmark::State& state) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const auto trace = compute_op_trace(m, tech(), workload(16, 2000));
+  VlSystemConfig cfg;
+  cfg.period_ps = 900.0;
+  cfg.ahl.width = 16;
+  cfg.ahl.skip = 7;
+  VariableLatencySystem sys(m, tech(), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.run(trace));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_PolicyReplay);
+
+void BM_StressExtraction(benchmark::State& state) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_stress(m.netlist, tech(), 1, 200));
+  }
+}
+BENCHMARK(BM_StressExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

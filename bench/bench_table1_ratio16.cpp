@@ -1,0 +1,48 @@
+// Table I — one-cycle pattern ratio in the 16x16 variable-latency bypassing
+// multipliers under Skip-7/8/9. The VLCB judges on the multiplicand, the
+// VLRB on the multiplicator; for uniform random operands both converge to
+// the binomial tail P(#zeros >= skip).
+//
+// Paper values: Skip-7: 73.58% / 77.39%, Skip-8: 53.78% / 59.89%,
+// Skip-9: 33.22% / 40.20% (VLCB / VLRB).
+
+#include "bench/common.hpp"
+#include "src/core/judging.hpp"
+
+using namespace agingsim;
+
+int main() {
+  bench::preamble("Table I", "one-cycle pattern ratio, 16x16 VLCB / VLRB");
+
+  Rng rng(0x7AB1E1);
+  const auto pats = uniform_patterns(rng, 16, 65536);
+
+  const double paper_vlcb[] = {0.7358, 0.5378, 0.3322};
+  const double paper_vlrb[] = {0.7739, 0.5989, 0.4020};
+
+  Table t("One-cycle pattern ratio, 16x16 (65536 uniform patterns)",
+          {"scenario", "VLCB (measured)", "VLRB (measured)", "analytic tail",
+           "paper VLCB", "paper VLRB"});
+  for (int i = 0; i < 3; ++i) {
+    const int skip = 7 + i;
+    const JudgingBlock jb(16, skip);
+    std::uint64_t cb = 0, rb = 0;
+    for (const auto& p : pats) {
+      cb += jb.one_cycle(p.a);  // column bypass judges the multiplicand
+      rb += jb.one_cycle(p.b);  // row bypass judges the multiplicator
+    }
+    t.add_row({"Skip-" + std::to_string(skip),
+               Table::pct(static_cast<double>(cb) / pats.size()),
+               Table::pct(static_cast<double>(rb) / pats.size()),
+               Table::pct(expected_one_cycle_ratio(16, skip)),
+               Table::pct(paper_vlcb[i]), Table::pct(paper_vlrb[i])});
+  }
+  t.print(std::cout);
+  std::printf(
+      "Note: the paper's VLRB column matches the binomial tail; its VLCB\n"
+      "column sits a few points lower (unexplained in the paper — the\n"
+      "judging rule is identical, only the operand differs). Our measured\n"
+      "ratios match the analytic tail for both, as expected for uniform\n"
+      "operands.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table II — one-cycle pattern ratio in the 32x32 variable-latency
+// bypassing multipliers under Skip-15/16/17.
+//
+// Paper values: Skip-15: 66.46% / 66.99%, Skip-16: 52.68% / 52.74%,
+// Skip-17: 38.18% / 38.42% (VLCB / VLRB).
+
+#include "bench/common.hpp"
+#include "src/core/judging.hpp"
+
+using namespace agingsim;
+
+int main() {
+  bench::preamble("Table II", "one-cycle pattern ratio, 32x32 VLCB / VLRB");
+
+  Rng rng(0x7AB1E2);
+  const auto pats = uniform_patterns(rng, 32, 65536);
+
+  const double paper_vlcb[] = {0.6646, 0.5268, 0.3818};
+  const double paper_vlrb[] = {0.6699, 0.5274, 0.3842};
+
+  Table t("One-cycle pattern ratio, 32x32 (65536 uniform patterns)",
+          {"scenario", "VLCB (measured)", "VLRB (measured)", "analytic tail",
+           "paper VLCB", "paper VLRB"});
+  for (int i = 0; i < 3; ++i) {
+    const int skip = 15 + i;
+    const JudgingBlock jb(32, skip);
+    std::uint64_t cb = 0, rb = 0;
+    for (const auto& p : pats) {
+      cb += jb.one_cycle(p.a);
+      rb += jb.one_cycle(p.b);
+    }
+    t.add_row({"Skip-" + std::to_string(skip),
+               Table::pct(static_cast<double>(cb) / pats.size()),
+               Table::pct(static_cast<double>(rb) / pats.size()),
+               Table::pct(expected_one_cycle_ratio(32, skip)),
+               Table::pct(paper_vlcb[i]), Table::pct(paper_vlrb[i])});
+  }
+  t.print(std::cout);
+  std::printf(
+      "Note: the monotone decrease with skip number reproduces; the paper's\n"
+      "absolute 32-bit ratios sit ~4 points below the binomial tail that\n"
+      "uniform operands produce (likely a different sampling protocol).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#pragma once
+
+// Shared scaffolding for the bench binaries. Each bench regenerates one of
+// the paper's tables or figures; this header centralizes the calibrated
+// technology library, the canonical workloads, and the sweep helpers so the
+// binaries stay small and consistent.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/aging/scenario.hpp"
+#include "src/core/calibration.hpp"
+#include "src/core/vl_multiplier.hpp"
+#include "src/report/table.hpp"
+#include "src/workload/patterns.hpp"
+
+namespace agingsim::bench {
+
+/// Calibrated library: 16x16 column-bypassing critical path = 1.88 ns, the
+/// paper's Fig. 5 anchor. Built once per process.
+inline const TechLibrary& tech() {
+  static const TechLibrary t = calibrated_tech_library(1880.0);
+  return t;
+}
+
+/// Canonical seeded workload: `count` uniform operand pairs.
+inline std::vector<OperandPattern> workload(int width, std::size_t count,
+                                            std::uint64_t seed = 0xA61A5) {
+  Rng rng(seed);
+  return uniform_patterns(rng, width, count);
+}
+
+/// Number of simulated operations per sweep point, overridable for quick
+/// runs via AGINGSIM_BENCH_OPS.
+inline std::size_t default_ops() {
+  if (const char* env = std::getenv("AGINGSIM_BENCH_OPS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 10000;
+}
+
+inline double ns(double ps) { return ps * 1e-3; }
+
+inline std::vector<double> linspace(double lo, double hi, int points) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(points - 1));
+  }
+  return out;
+}
+
+/// Runs a variable-latency system over `trace` at each period.
+inline std::vector<RunStats> sweep_periods(
+    const MultiplierNetlist& mult, std::span<const OpTrace> trace,
+    std::span<const double> periods_ps, int skip, bool adaptive,
+    double mean_dvth_v = 0.0) {
+  std::vector<RunStats> out;
+  out.reserve(periods_ps.size());
+  for (double period : periods_ps) {
+    VlSystemConfig cfg;
+    cfg.period_ps = period;
+    cfg.ahl.width = mult.width;
+    cfg.ahl.skip = skip;
+    cfg.ahl.adaptive = adaptive;
+    VariableLatencySystem sys(mult, tech(), cfg);
+    out.push_back(sys.run(trace, mean_dvth_v));
+  }
+  return out;
+}
+
+/// The three architectures at one width, with critical paths and gate-level
+/// traces over the canonical workload — the shared setup of the Fig. 13-24
+/// sweeps.
+struct ArchSet {
+  MultiplierNetlist am, cb, rb;
+  double am_crit_ps, cb_crit_ps, rb_crit_ps;
+  std::vector<OpTrace> am_trace, cb_trace, rb_trace;
+};
+
+inline ArchSet make_arch_set(int width, std::size_t ops,
+                             bool with_am_trace = false) {
+  ArchSet s{build_array_multiplier(width),
+            build_column_bypass_multiplier(width),
+            build_row_bypass_multiplier(width),
+            0.0,
+            0.0,
+            0.0,
+            {},
+            {},
+            {}};
+  s.am_crit_ps = critical_path_ps(s.am, tech());
+  s.cb_crit_ps = critical_path_ps(s.cb, tech());
+  s.rb_crit_ps = critical_path_ps(s.rb, tech());
+  const auto pats = workload(width, ops);
+  s.cb_trace = compute_op_trace(s.cb, tech(), pats);
+  s.rb_trace = compute_op_trace(s.rb, tech(), pats);
+  if (with_am_trace) s.am_trace = compute_op_trace(s.am, tech(), pats);
+  return s;
+}
+
+/// Standard preamble so every bench's output is self-describing.
+inline void preamble(const char* id, const char* what) {
+  std::printf("############################################################\n");
+  std::printf("## %s — %s\n", id, what);
+  std::printf("## tech: 32nm-class, calibrated so CB16 critical path = 1.88 ns"
+              " (paper Fig. 5)\n");
+  std::printf("############################################################\n\n");
+}
+
+}  // namespace agingsim::bench

@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared implementation of the paper's Figs. 26 and 27: normalized latency,
+// power and EDP of the AM, FLCB, FLRB, A-VLCB and A-VLRB over seven years
+// of BTI aging. The fixed-latency designs are re-guard-banded to their aged
+// critical path each year (that is what "fixed" costs under aging); the
+// variable-latency designs keep their generous fixed cycle period, chosen
+// so no timing violations occur, exactly as in the paper's setup.
+
+#include <array>
+
+#include "bench/common.hpp"
+
+namespace agingsim::bench {
+
+inline void run_seven_year_figure(const char* fig, int width,
+                                  double vl_period_ps, int skip) {
+  const TechLibrary& t = tech();
+  const BtiModel model = BtiModel::calibrated(t);
+  const auto pats = workload(width, default_ops());
+
+  struct Arch {
+    MultiplierNetlist mult;
+    AgingScenario scenario;
+    Arch(MultiplierArch a, int w, const TechLibrary& tl, const BtiModel& m)
+        : mult(build_multiplier(a, w)),
+          scenario(mult.netlist, tl, m, 0x26F1, 1000) {}
+  };
+  Arch am(MultiplierArch::kArray, width, t, model);
+  Arch cb(MultiplierArch::kColumnBypass, width, t, model);
+  Arch rb(MultiplierArch::kRowBypass, width, t, model);
+
+  constexpr int kDesigns = 5;  // AM FLCB FLRB A-VLCB A-VLRB
+  const char* names[kDesigns] = {"AM", "FLCB", "FLRB", "A-VLCB", "A-VLRB"};
+  std::array<std::array<RunStats, kDesigns>, 8> stats;
+
+  for (int year = 0; year <= 7; ++year) {
+    const auto run_fixed = [&](Arch& a) {
+      const auto scales = a.scenario.delay_scales_at(year);
+      const auto trace = compute_op_trace(a.mult, t, pats, scales);
+      FixedLatencySystem sys(a.mult, t);
+      return sys.run(trace, critical_path_ps(a.mult, t, scales),
+                     a.scenario.mean_dvth_at(year));
+    };
+    const auto run_vl = [&](Arch& a) {
+      const auto scales = a.scenario.delay_scales_at(year);
+      const auto trace = compute_op_trace(a.mult, t, pats, scales);
+      VlSystemConfig cfg;
+      cfg.period_ps = vl_period_ps;
+      cfg.ahl.width = width;
+      cfg.ahl.skip = skip;
+      VariableLatencySystem sys(a.mult, t, cfg);
+      return sys.run(trace, a.scenario.mean_dvth_at(year));
+    };
+    stats[year][0] = run_fixed(am);
+    stats[year][1] = run_fixed(cb);
+    stats[year][2] = run_fixed(rb);
+    stats[year][3] = run_vl(cb);
+    stats[year][4] = run_vl(rb);
+  }
+
+  const double lat0 = stats[0][0].avg_latency_ps;
+  const double pow0 = stats[0][0].avg_power_mw;
+  const double edp0 = stats[0][0].edp_mw_ns2;
+
+  const auto emit = [&](const char* what, auto get, double norm) {
+    Table tab(std::string(fig) + " normalized " + what + " (AM year 0 = 1)",
+              {"year", "AM", "FLCB", "FLRB", "A-VLCB", "A-VLRB"});
+    for (int year = 0; year <= 7; ++year) {
+      std::vector<std::string> row = {std::to_string(year)};
+      for (int d = 0; d < kDesigns; ++d) {
+        row.push_back(Table::fmt(get(stats[year][d]) / norm, 3));
+      }
+      tab.add_row(std::move(row));
+    }
+    tab.print(std::cout);
+    std::printf("%s increase year0 -> year7:", what);
+    for (int d = 0; d < kDesigns; ++d) {
+      std::printf("  %s %+0.2f%%", names[d],
+                  100.0 * (get(stats[7][d]) / get(stats[0][d]) - 1.0));
+    }
+    std::printf("\n\n");
+  };
+
+  emit("latency", [](const RunStats& s) { return s.avg_latency_ps; }, lat0);
+  emit("power", [](const RunStats& s) { return s.avg_power_mw; }, pow0);
+  emit("EDP", [](const RunStats& s) { return s.edp_mw_ns2; }, edp0);
+
+  std::uint64_t vl_errors = 0;
+  for (int year = 0; year <= 7; ++year) {
+    vl_errors += stats[year][3].errors + stats[year][4].errors;
+  }
+  std::printf("VL designs' timing violations across all years: %llu "
+              "(expected 0: the %.1f ns period was chosen with margin)\n",
+              static_cast<unsigned long long>(vl_errors),
+              ns(vl_period_ps));
+}
+
+}  // namespace agingsim::bench

@@ -1,0 +1,109 @@
+// Domain example: a 16-tap FIR filter — the paper's motivating workload
+// class ("digital filtering") — whose multiplies run on the gate-level
+// 16x16 aging-aware multiplier.
+//
+// The filter convolves a synthetic band-limited signal with a fixed
+// coefficient kernel. Every product comes out of the simulated netlist (and
+// is cross-checked against software multiplication); the cycle accounting
+// comes from the variable-latency system model. Because real signals spend
+// most of their time at small magnitudes (many leading zeros), the
+// bypassing multiplier's one-cycle ratio on this workload is far higher
+// than on uniform random operands — variable latency is even better on DSP
+// streams than the paper's random-pattern evaluation suggests.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/calibration.hpp"
+#include "src/core/vl_multiplier.hpp"
+#include "src/workload/patterns.hpp"
+
+using namespace agingsim;
+
+namespace {
+
+// A 16-tap low-pass-ish kernel (unsigned fixed point).
+constexpr std::uint64_t kTaps[16] = {3,   9,   21,  40,  62,  80,  91,  95,
+                                     91,  80,  62,  40,  21,  9,   3,   1};
+
+// Synthetic "sensor" signal: a random walk with occasional bursts, clamped
+// to 12 bits so operands carry leading zeros like real samples do.
+std::vector<std::uint64_t> make_signal(std::size_t n) {
+  Rng rng(0xF17);
+  std::vector<std::uint64_t> sig(n);
+  std::uint64_t level = 800;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t step = rng.next_below(64);
+    level = (rng.next() & 1) ? level + step : level - std::min(level, step);
+    if (rng.next_below(1000) < 5) level += 2000;  // burst
+    if (level > 0xFFF) level = 0xFFF;
+    sig[i] = level;
+  }
+  return sig;
+}
+
+}  // namespace
+
+int main() {
+  const TechLibrary tech = calibrated_tech_library();
+  const MultiplierNetlist mult = build_column_bypass_multiplier(16);
+
+  const std::size_t kSamples = 512;
+  const auto signal = make_signal(kSamples + 16);
+
+  // The multiply stream: operand a (multiplicand, judged by the AHL) is the
+  // coefficient — constant-ish and sparse; operand b is the sample.
+  std::vector<OperandPattern> stream;
+  stream.reserve(kSamples * 16);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    for (int t = 0; t < 16; ++t) {
+      stream.push_back({kTaps[t], signal[i + 15 - static_cast<std::size_t>(t)]});
+    }
+  }
+
+  // Gate-level simulation of every multiply (products are verified against
+  // software multiplication inside compute_op_trace).
+  const auto trace = compute_op_trace(mult, tech, stream);
+
+  // Accumulate the FIR outputs from the netlist products and cross-check.
+  std::vector<std::uint64_t> fir(kSamples, 0);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    std::uint64_t acc = 0, ref = 0;
+    for (int t = 0; t < 16; ++t) {
+      acc += trace[i * 16 + static_cast<std::size_t>(t)].product;
+      ref += kTaps[t] * signal[i + 15 - static_cast<std::size_t>(t)];
+    }
+    fir[i] = acc;
+    if (acc != ref) {
+      std::printf("FIR mismatch at sample %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("FIR over %zu samples (%zu gate-level multiplies): outputs "
+              "match the software reference.\n",
+              kSamples, trace.size());
+
+  // Architecture comparison on this DSP stream.
+  VlSystemConfig cfg;
+  cfg.period_ps = 900.0;
+  cfg.ahl.width = 16;
+  cfg.ahl.skip = 7;
+  VariableLatencySystem proposed(mult, tech, cfg);
+  const RunStats vl = proposed.run(trace);
+  FixedLatencySystem fixed(mult, tech);
+  const RunStats fl = fixed.run(trace, critical_path_ps(mult, tech));
+
+  std::printf("\nDSP stream vs uniform random (paper's Table I):\n");
+  std::printf("  one-cycle ratio on FIR stream : %.1f%% (Skip-7)\n",
+              100.0 * vl.one_cycle_ratio);
+  std::printf("  one-cycle ratio, uniform ops  : ~77%% (Table I)\n");
+  std::printf("  Razor errors                  : %llu\n",
+              static_cast<unsigned long long>(vl.errors));
+  std::printf("  A-VLCB avg latency            : %.3f ns\n",
+              vl.avg_latency_ps / 1000.0);
+  std::printf("  FLCB fixed latency            : %.3f ns\n",
+              fl.avg_latency_ps / 1000.0);
+  std::printf("  filter throughput gain        : %.2fx\n",
+              fl.avg_latency_ps / vl.avg_latency_ps);
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "src/aging/bti.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+constexpr double kBoltzmannEvPerK = 8.617333e-5;
+constexpr double kRdTimeExponent = 1.0 / 6.0;
+
+}  // namespace
+
+double years_to_seconds(double years) noexcept {
+  return years * 365.25 * 24.0 * 3600.0;
+}
+
+double kdc_from_physical(const PhysicalBtiParams& p) {
+  const double overdrive = p.vgs_v - p.vth_v;
+  if (!(overdrive > 0.0)) {
+    throw std::invalid_argument("kdc_from_physical: Vgs must exceed Vth");
+  }
+  const double tox_m = p.tox_nm * 1e-9;
+  const double eox = overdrive / tox_m;  // gate electric field
+  const double field_term = std::exp(eox / p.e0_v_per_m);
+  const double thermal_term =
+      std::exp(-p.ea_ev / (kBoltzmannEvPerK * p.temperature_k));
+  const double charge_term = std::sqrt(p.cox_f_per_m2 * overdrive);
+  const double ds_term = 1.0 - p.vds_v / (p.alpha_sat * overdrive);
+  return p.a_fit * p.tox_nm * charge_term * ds_term * field_term *
+         thermal_term;
+}
+
+BtiModel BtiModel::physical(const PhysicalBtiParams& params) {
+  return BtiModel(kdc_from_physical(params), kRdTimeExponent);
+}
+
+BtiModel BtiModel::calibrated(const TechLibrary& tech,
+                              double target_delay_scale, double years,
+                              double ref_stress) {
+  if (!(target_delay_scale > 1.0) || !(years > 0.0) || !(ref_stress > 0.0) ||
+      ref_stress > 1.0) {
+    throw std::invalid_argument("BtiModel::calibrated: bad parameters");
+  }
+  // Invert the alpha-power law to find the dVth that produces the target
+  // delay scale, then solve Eq. (1) for Kdc at the reference stress.
+  const double drive0 = tech.vdd_v - tech.vth0_v;
+  const double dvth =
+      drive0 * (1.0 - std::pow(target_delay_scale, -1.0 / tech.alpha_power));
+  const double t = years_to_seconds(years);
+  const double kdc = dvth / (std::pow(ref_stress, kRdTimeExponent) *
+                             std::pow(t, kRdTimeExponent));
+  return BtiModel(kdc, kRdTimeExponent);
+}
+
+double BtiModel::delta_vth(double stress_probability, double seconds) const {
+  if (stress_probability < 0.0 || stress_probability > 1.0) {
+    throw std::invalid_argument("BtiModel::delta_vth: stress must be in [0,1]");
+  }
+  if (seconds < 0.0) {
+    throw std::invalid_argument("BtiModel::delta_vth: negative time");
+  }
+  if (seconds == 0.0 || stress_probability == 0.0) return 0.0;
+  return std::pow(stress_probability, n_) * kdc_ * std::pow(seconds, n_);
+}
+
+}  // namespace agingsim

@@ -1,0 +1,46 @@
+#include "src/aging/electromigration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+constexpr double kBoltzmannEvPerK = 8.617333e-5;
+
+// Normalization constants making the default EmParams yield ~10 years:
+// MTTF = a_fit * kMttfNorm / J^n * exp(Ea/kT) / exp(Ea/kT_ref-ish folded).
+// We simply define the reference so that J = 1 mA/um^2, Ea = 0.9 eV,
+// T = 398.15 K => 10 years.
+constexpr double kReferenceYears = 10.0;
+
+}  // namespace
+
+ElectromigrationModel::ElectromigrationModel(EmParams params)
+    : params_(params) {
+  if (!(params.current_density_ma_um2 > 0.0) || !(params.a_fit > 0.0)) {
+    throw std::invalid_argument(
+        "ElectromigrationModel: current density and prefactor must be > 0");
+  }
+  if (params.delay_growth_at_mttf < 0.0) {
+    throw std::invalid_argument(
+        "ElectromigrationModel: delay growth must be >= 0");
+  }
+  const EmParams ref{};  // the 10-year reference corner
+  const auto black = [](const EmParams& p) {
+    return p.a_fit / std::pow(p.current_density_ma_um2, p.n_exp) *
+           std::exp(p.ea_ev / (kBoltzmannEvPerK * p.temperature_k));
+  };
+  mttf_years_ = kReferenceYears * black(params_) / black(ref);
+}
+
+double ElectromigrationModel::wire_delay_scale(double years) const {
+  if (years < 0.0) {
+    throw std::invalid_argument(
+        "ElectromigrationModel::wire_delay_scale: negative time");
+  }
+  // Linear void-growth resistance drift in consumed lifetime.
+  return 1.0 + params_.delay_growth_at_mttf * (years / mttf_years_);
+}
+
+}  // namespace agingsim

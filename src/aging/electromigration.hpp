@@ -1,0 +1,48 @@
+#pragma once
+
+namespace agingsim {
+
+/// Electromigration (EM) interconnect-aging model — the second aging
+/// mechanism the paper's conclusion discusses: "metal atoms will be
+/// gradually displaced ... if a wire becomes narrower, the resistance and
+/// delay of the wire will be increased, and in the end electromigration may
+/// lead to open circuits."
+///
+/// Lifetime follows Black's equation,  MTTF = A / J^n * exp(Ea / kT),
+/// with the classical n = 2 current-density exponent and Ea ~ 0.9 eV for
+/// Cu interconnect. Before failure, the void-growth phase raises wire
+/// resistance (and therefore RC delay) roughly linearly in consumed
+/// lifetime; `delay_growth_at_mttf` is the fractional wire-delay increase
+/// accumulated at t = MTTF.
+struct EmParams {
+  double current_density_ma_um2 = 1.0;  ///< average wire current density
+  double n_exp = 2.0;                   ///< Black's current exponent
+  double ea_ev = 0.9;                   ///< activation energy (Cu)
+  double temperature_k = 398.15;        ///< 125 C, as the BTI studies
+  /// Prefactor chosen so the default parameters give MTTF ~= 10 years —
+  /// a representative sign-off target.
+  double a_fit = 1.0;
+  /// Fractional wire-delay increase when t reaches MTTF (void growth).
+  double delay_growth_at_mttf = 0.10;
+};
+
+class ElectromigrationModel {
+ public:
+  explicit ElectromigrationModel(EmParams params = {});
+
+  /// Median time to failure in years (Black's equation).
+  double mttf_years() const noexcept { return mttf_years_; }
+
+  /// Multiplier (>= 1) on wire delay after `years` of current stress. Wire
+  /// delay is folded into the per-gate delays of the gate-level model, so
+  /// this scale composes multiplicatively with the BTI per-gate scales.
+  double wire_delay_scale(double years) const;
+
+  const EmParams& params() const noexcept { return params_; }
+
+ private:
+  EmParams params_;
+  double mttf_years_;
+};
+
+}  // namespace agingsim

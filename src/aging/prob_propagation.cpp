@@ -1,0 +1,79 @@
+#include "src/aging/prob_propagation.hpp"
+
+namespace agingsim {
+
+std::vector<double> propagate_signal_probabilities(const Netlist& netlist) {
+  std::vector<double> p(netlist.num_nets(), 0.5);  // primary inputs: uniform
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    const auto ins = netlist.gate_inputs(g);
+    const auto in = [&](std::size_t k) { return p[ins[k]]; };
+    double out = 0.5;
+    switch (gate.kind) {
+      case CellKind::kBuf:
+        out = in(0);
+        break;
+      case CellKind::kInv:
+        out = 1.0 - in(0);
+        break;
+      case CellKind::kAnd2:
+        out = in(0) * in(1);
+        break;
+      case CellKind::kNand2:
+        out = 1.0 - in(0) * in(1);
+        break;
+      case CellKind::kOr2:
+        out = 1.0 - (1.0 - in(0)) * (1.0 - in(1));
+        break;
+      case CellKind::kNor2:
+        out = (1.0 - in(0)) * (1.0 - in(1));
+        break;
+      case CellKind::kXor2:
+        out = in(0) * (1.0 - in(1)) + in(1) * (1.0 - in(0));
+        break;
+      case CellKind::kXnor2:
+        out = in(0) * in(1) + (1.0 - in(0)) * (1.0 - in(1));
+        break;
+      case CellKind::kAnd3:
+        out = in(0) * in(1) * in(2);
+        break;
+      case CellKind::kOr3:
+        out = 1.0 - (1.0 - in(0)) * (1.0 - in(1)) * (1.0 - in(2));
+        break;
+      case CellKind::kMux2:
+        // in = {d0, d1, sel}
+        out = (1.0 - in(2)) * in(0) + in(2) * in(1);
+        break;
+      case CellKind::kTbuf:
+        // Steady state: whether currently driven or kept, the output is a
+        // (possibly stale) sample of the data input's distribution.
+        out = in(0);
+        break;
+      case CellKind::kTie0:
+        out = 0.0;
+        break;
+      case CellKind::kTie1:
+        out = 1.0;
+        break;
+      case CellKind::kCount:
+        break;
+    }
+    p[gate.out] = out;
+  }
+  return p;
+}
+
+StressProfile analytic_stress(const Netlist& netlist) {
+  StressProfile prof;
+  prof.net_p_one = propagate_signal_probabilities(netlist);
+  prof.pmos_stress.resize(netlist.num_gates());
+  prof.nmos_stress.resize(netlist.num_gates());
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const double p1 = prof.net_p_one[netlist.gate(g).out];
+    prof.pmos_stress[g] = p1;
+    prof.nmos_stress[g] = 1.0 - p1;
+  }
+  return prof;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "src/aging/stress.hpp"
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Analytic signal-probability propagation: computes P(net = 1) for every
+/// net in one topological pass, assuming independence between gate inputs
+/// (the classical zero-cost alternative to Monte-Carlo extraction; exact on
+/// tree-shaped fanin, approximate under reconvergence). Primary inputs are
+/// assumed uniform (P = 1/2). Disabled tri-state keepers hold samples of
+/// their own data distribution, so a TBUF's steady-state probability is its
+/// data input's.
+std::vector<double> propagate_signal_probabilities(const Netlist& netlist);
+
+/// A StressProfile built from the analytic probabilities — a drop-in,
+/// simulation-free replacement for `estimate_stress` when constructing an
+/// AgingScenario for large netlists.
+StressProfile analytic_stress(const Netlist& netlist);
+
+}  // namespace agingsim

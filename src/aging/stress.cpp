@@ -1,0 +1,46 @@
+#include "src/aging/stress.hpp"
+
+#include <stdexcept>
+
+#include "src/sim/timing_sim.hpp"
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+
+StressProfile estimate_stress(const Netlist& netlist, const TechLibrary& tech,
+                              std::uint64_t seed, std::size_t num_patterns) {
+  if (num_patterns == 0) {
+    throw std::invalid_argument("estimate_stress: need at least one pattern");
+  }
+  TimingSim sim(netlist, tech);
+  Rng rng(seed);
+  std::vector<Logic> pattern(netlist.num_inputs());
+  std::vector<std::uint64_t> ones(netlist.num_nets(), 0);
+
+  for (std::size_t p = 0; p < num_patterns; ++p) {
+    for (auto& v : pattern) {
+      v = logic_from_bool((rng.next() & 1) != 0);
+    }
+    sim.step(pattern);
+    for (NetId n = 0; n < netlist.num_nets(); ++n) {
+      if (sim.value(n) == Logic::kOne) ++ones[n];
+    }
+  }
+
+  StressProfile prof;
+  prof.net_p_one.resize(netlist.num_nets());
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    prof.net_p_one[n] = static_cast<double>(ones[n]) /
+                        static_cast<double>(num_patterns);
+  }
+  prof.pmos_stress.resize(netlist.num_gates());
+  prof.nmos_stress.resize(netlist.num_gates());
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const double p1 = prof.net_p_one[netlist.gate(g).out];
+    prof.pmos_stress[g] = p1;
+    prof.nmos_stress[g] = 1.0 - p1;
+  }
+  return prof;
+}
+
+}  // namespace agingsim

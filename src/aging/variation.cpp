@@ -1,0 +1,49 @@
+#include "src/aging/variation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+
+std::vector<double> process_variation_scales(const Netlist& netlist,
+                                             double sigma,
+                                             std::uint64_t seed) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("process_variation_scales: sigma must be >= 0");
+  }
+  Rng rng(seed);
+  std::vector<double> scales(netlist.num_gates(), 1.0);
+  if (sigma == 0.0) return scales;
+  // Box-Muller on the deterministic PRNG.
+  for (std::size_t g = 0; g < scales.size(); ++g) {
+    double u1 = rng.next_double();
+    while (u1 <= 0.0) u1 = rng.next_double();
+    const double u2 = rng.next_double();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    scales[g] = std::exp(sigma * z);
+  }
+  return scales;
+}
+
+std::vector<double> combine_scales(
+    std::initializer_list<std::vector<double>> overlays) {
+  std::vector<double> out;
+  for (const auto& overlay : overlays) {
+    if (overlay.empty()) continue;
+    if (out.empty()) {
+      out = overlay;
+    } else {
+      if (overlay.size() != out.size()) {
+        throw std::invalid_argument(
+            "combine_scales: overlays must have equal length");
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] *= overlay[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Process-variation model (cf. the paper's related work [19]: process-
+/// variation-tolerant arithmetic with input-based elastic clocking).
+/// Each gate's delay gets an independent multiplicative lognormal factor
+/// exp(N(0, sigma)) — the standard within-die random-variation model.
+/// The returned overlay composes multiplicatively with the aging overlays
+/// (multiply element-wise, see combined_scales in scenario.hpp).
+std::vector<double> process_variation_scales(const Netlist& netlist,
+                                             double sigma,
+                                             std::uint64_t seed);
+
+/// Element-wise product of delay overlays (e.g. BTI x EM x variation).
+/// All inputs must be the same length (one entry per gate); an empty vector
+/// means "identity" and is skipped.
+std::vector<double> combine_scales(
+    std::initializer_list<std::vector<double>> overlays);
+
+}  // namespace agingsim

@@ -1,0 +1,50 @@
+#include "src/core/aging_indicator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agingsim {
+
+AgingIndicator::AgingIndicator(AgingIndicatorConfig config)
+    : config_(config) {
+  if (config.window_ops < 1) {
+    throw std::invalid_argument("AgingIndicator: window must be >= 1 op");
+  }
+  if (config.error_threshold <= 0.0 || config.error_threshold > 1.0) {
+    throw std::invalid_argument(
+        "AgingIndicator: threshold must be in (0, 1]");
+  }
+  trip_count_ = static_cast<int>(std::ceil(config.error_threshold *
+                                           config.window_ops));
+  if (trip_count_ < 1) trip_count_ = 1;
+}
+
+void AgingIndicator::record(bool error) {
+  ++ops_in_window_;
+  if (error) ++errors_in_window_;
+  // Trip as soon as the window's budget is exhausted — the counter would
+  // reach the threshold at the window boundary anyway; reacting immediately
+  // only shortens the error burst.
+  if (errors_in_window_ >= trip_count_ && !aged_) {
+    aged_ = true;
+    ++trips_;
+  }
+  if (ops_in_window_ >= config_.window_ops) {
+    if (!config_.sticky) {
+      aged_ = errors_in_window_ >= trip_count_;
+    }
+    ops_in_window_ = 0;
+    errors_in_window_ = 0;
+    ++windows_;
+  }
+}
+
+void AgingIndicator::reset() {
+  ops_in_window_ = 0;
+  errors_in_window_ = 0;
+  aged_ = false;
+  windows_ = 0;
+  trips_ = 0;
+}
+
+}  // namespace agingsim

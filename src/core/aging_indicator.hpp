@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+namespace agingsim {
+
+/// Configuration of the AHL aging indicator (paper Fig. 12 / Section IV-C:
+/// "a simple counter that counts the number of errors over a certain amount
+/// of operations and is reset to zero at the end of those operations",
+/// threshold "10% in our experiment, that is, 10 errors for each 100
+/// operations").
+struct AgingIndicatorConfig {
+  int window_ops = 100;          ///< operations per observation window
+  double error_threshold = 0.10; ///< trip when errors/window reaches this
+  /// Aging-induced Vth drift is monotonic, so once the indicator has
+  /// observed significant degradation it stays tripped (default). The
+  /// non-sticky variant re-evaluates every window; the ablation bench
+  /// compares the two.
+  bool sticky = true;
+};
+
+/// The error-rate counter that selects between the AHL's two judging
+/// blocks. Output 0: aging not significant (first block, Skip-k); output 1:
+/// significant degradation (second block, Skip-(k+1)).
+class AgingIndicator {
+ public:
+  explicit AgingIndicator(AgingIndicatorConfig config);
+
+  /// Records the outcome of one operation (error = Razor flagged it).
+  void record(bool error);
+
+  /// The indicator output: true selects the second judging block.
+  bool aged() const noexcept { return aged_; }
+
+  std::uint64_t windows_completed() const noexcept { return windows_; }
+  std::uint64_t trips() const noexcept { return trips_; }
+
+  void reset();
+
+ private:
+  AgingIndicatorConfig config_;
+  int ops_in_window_ = 0;
+  int errors_in_window_ = 0;
+  int trip_count_;  // errors needed to trip
+  bool aged_ = false;
+  std::uint64_t windows_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace agingsim

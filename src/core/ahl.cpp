@@ -1,0 +1,26 @@
+#include "src/core/ahl.hpp"
+
+#include <algorithm>
+
+namespace agingsim {
+
+AdaptiveHoldLogic::AdaptiveHoldLogic(AhlConfig config)
+    : config_(config),
+      first_(config.width, config.skip),
+      // Skip-(width+1) is already the "never one cycle" block; the second
+      // judging block saturates there.
+      second_(config.width, std::min(config.skip + config.second_block_offset,
+                                     config.width + 1)),
+      indicator_(config.indicator) {}
+
+int AdaptiveHoldLogic::decide_cycles(
+    std::uint64_t judging_operand) const noexcept {
+  const JudgingBlock& active = using_second_block() ? second_ : first_;
+  return active.one_cycle(judging_operand) ? 1 : 2;
+}
+
+void AdaptiveHoldLogic::record_outcome(bool razor_error) {
+  if (config_.adaptive) indicator_.record(razor_error);
+}
+
+}  // namespace agingsim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/aging_indicator.hpp"
+#include "src/core/judging.hpp"
+
+namespace agingsim {
+
+/// Configuration of the Adaptive Hold Logic circuit (paper Fig. 12).
+struct AhlConfig {
+  int width = 16;
+  /// Base skip number: the first judging block is Skip-`skip`, the second is
+  /// Skip-`skip+second_block_offset`.
+  int skip = 7;
+  /// false models the *traditional* variable-latency design (T-VLCB/T-VLRB):
+  /// a single judging block, no aging indicator, no adaptation.
+  bool adaptive = true;
+  /// How much stricter the second judging block is. The paper uses n+1
+  /// (offset 1); the ablation bench sweeps this.
+  int second_block_offset = 1;
+  AgingIndicatorConfig indicator{};
+};
+
+/// The AHL circuit: two judging blocks (Skip-k and Skip-(k+1)), an aging
+/// indicator and the selecting MUX. Decides, per input pattern, whether the
+/// operation is issued as one cycle or two; consumes the Razor error
+/// feedback to detect significant aging and switch judging blocks.
+class AdaptiveHoldLogic {
+ public:
+  explicit AdaptiveHoldLogic(AhlConfig config);
+
+  /// Cycles the arriving pattern is issued with (1 or 2). `judging_operand`
+  /// is the multiplicand for column-bypassing, the multiplicator for
+  /// row-bypassing (paper Fig. 8).
+  int decide_cycles(std::uint64_t judging_operand) const noexcept;
+
+  /// Feeds one operation's Razor outcome back into the aging indicator.
+  /// No-op for the non-adaptive (traditional) configuration.
+  void record_outcome(bool razor_error);
+
+  /// True once the aging indicator has switched to the second judging block.
+  bool using_second_block() const noexcept {
+    return config_.adaptive && indicator_.aged();
+  }
+
+  const AhlConfig& config() const noexcept { return config_; }
+  const AgingIndicator& indicator() const noexcept { return indicator_; }
+
+ private:
+  AhlConfig config_;
+  JudgingBlock first_;
+  JudgingBlock second_;
+  AgingIndicator indicator_;
+};
+
+}  // namespace agingsim

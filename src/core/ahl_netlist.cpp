@@ -1,0 +1,115 @@
+#include "src/core/ahl_netlist.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+namespace {
+
+/// Adds `bit` (0/1) into the binary accumulator `acc` (LSB first) with a
+/// half-adder increment chain, growing the accumulator as needed.
+void add_bit(NetlistBuilder& nb, std::vector<NetId>& acc, NetId bit) {
+  NetId carry = bit;
+  for (std::size_t i = 0; i < acc.size() && !nb.is_zero(carry); ++i) {
+    const AdderBits ha = nb.half_adder(acc[i], carry);
+    acc[i] = ha.sum;
+    carry = ha.carry;
+  }
+  if (!nb.is_zero(carry)) acc.push_back(carry);
+}
+
+/// count >= k for a constant k, MSB-first compare. The serial increment
+/// accumulator can be much wider than k needs (one bit per operand bit), so
+/// bit extraction must stay in 64-bit range.
+NetId build_ge_const(NetlistBuilder& nb, const std::vector<NetId>& count,
+                     std::uint64_t k) {
+  NetId ge = nb.zero();
+  NetId eq_prefix = nb.one();
+  for (int i = static_cast<int>(count.size()) - 1; i >= 0; --i) {
+    const NetId bit = count[static_cast<std::size_t>(i)];
+    const bool k_bit = i < 64 && ((k >> i) & 1u);
+    if (!k_bit) {
+      // count can exceed k at this position.
+      ge = nb.or2(ge, nb.and2(eq_prefix, bit));
+      eq_prefix = nb.and2(eq_prefix, nb.inv(bit));
+    } else {
+      eq_prefix = nb.and2(eq_prefix, bit);
+    }
+  }
+  return nb.or2(ge, eq_prefix);  // equality also satisfies >=
+}
+
+}  // namespace
+
+JudgingNetlist build_judging_block_netlist(int width, int skip) {
+  if (width < 2 || width > 32) {
+    throw std::invalid_argument(
+        "build_judging_block_netlist: width must be in [2, 32]");
+  }
+  if (skip < 0 || skip > width + 1) {
+    throw std::invalid_argument(
+        "build_judging_block_netlist: skip must be in [0, width + 1]");
+  }
+  NetlistBuilder nb;
+  const auto operand = nb.input_bus("x", width);
+
+  NetId one_cycle;
+  if (skip == 0) {
+    one_cycle = nb.buf(nb.one());  // constant: every pattern is one cycle
+  } else if (skip == width + 1) {
+    one_cycle = nb.buf(nb.zero());  // constant: never one cycle
+  } else {
+    // Zero counter: invert each operand bit, accumulate into a binary count.
+    std::vector<NetId> count;
+    for (NetId bit : operand) add_bit(nb, count, nb.inv(bit));
+    // The count needs ceil(log2(width+1)) bits; make sure the constant k
+    // fits the comparator's view of the accumulator.
+    while (count.size() < 63 &&
+           (std::uint64_t{1} << count.size()) <=
+               static_cast<std::uint64_t>(skip)) {
+      count.push_back(nb.zero());
+    }
+    one_cycle =
+        build_ge_const(nb, count, static_cast<std::uint64_t>(skip));
+  }
+  nb.netlist().mark_output(one_cycle, "one_cycle");
+  nb.netlist().validate();
+  return JudgingNetlist{std::move(nb.netlist()), width, skip};
+}
+
+AhlControlNetlist build_ahl_control_netlist(int width, int skip,
+                                            int second_block_offset) {
+  if (second_block_offset < 0) {
+    throw std::invalid_argument(
+        "build_ahl_control_netlist: offset must be >= 0");
+  }
+  const int second_skip =
+      std::min(skip + second_block_offset, width + 1);
+  const JudgingNetlist first = build_judging_block_netlist(width, skip);
+  const JudgingNetlist second =
+      build_judging_block_netlist(width, second_skip);
+
+  NetlistBuilder nb;
+  const auto operand = nb.input_bus("x", width);
+  const NetId aging = nb.input("aging");
+  const NetId q_gating = nb.input("q_gating");
+
+  const NetId j1 = nb.instantiate(first.netlist, operand)[0];
+  const NetId j2 = nb.instantiate(second.netlist, operand)[0];
+  const NetId one_cycle = nb.mux2(j1, j2, aging);
+  // D = one_cycle | !Q: a two-cycle verdict drops Q for exactly one cycle
+  // (the hold cycle re-evaluates with the *same* operand because the input
+  // registers are gated, and !Q = 1 pulls D back to 1).
+  const NetId d_gating = nb.or2(one_cycle, nb.inv(q_gating));
+  nb.netlist().mark_output(one_cycle, "one_cycle");
+  nb.netlist().mark_output(d_gating, "d_gating");
+  nb.netlist().validate();
+  return AhlControlNetlist{std::move(nb.netlist()), width, width,
+                           width + 1};
+}
+
+}  // namespace agingsim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Gate-level realization of one AHL judging block (paper Fig. 12): a zero
+/// counter (bit inverters feeding a population-count adder network) and a
+/// constant threshold comparator. Output bit = 1 iff the number of zeros in
+/// the operand is >= skip, i.e. the pattern is a one-cycle pattern.
+///
+/// The behavioural `JudgingBlock` in core/judging.hpp is the model the
+/// system simulator uses; this netlist exists to (a) validate that model
+/// against a real circuit (tests do exhaustive/randomized equivalence
+/// checking), (b) supply honest area/delay numbers for the AHL overhead,
+/// and (c) let the judging logic itself age in aging studies.
+struct JudgingNetlist {
+  Netlist netlist;
+  int width;
+  int skip;
+};
+
+/// Builds the circuit. `width` in [2, 32]; `skip` in [0, width + 1]
+/// (skip = 0 degenerates to constant 1, skip = width + 1 to constant 0,
+/// matching the behavioural block's edge semantics).
+JudgingNetlist build_judging_block_netlist(int width, int skip);
+
+/// The complete AHL *control path* of Fig. 12 at gate level: both judging
+/// blocks, the aging-indicator-driven MUX, and the OR + D-flip-flop gating
+/// generator. The aging indicator itself (error counter) stays behavioural
+/// — it is fed by the Razor error signal at system scope.
+///
+/// I/O contract (all indices into the returned netlist):
+///  - inputs:  x[0..width) operand, `aging` (indicator output),
+///             `q_gating` (the gating flip-flop's Q, to be driven by a
+///             SequentialSim register).
+///  - outputs: `one_cycle` (selected judging verdict — 1 means the pattern
+///             is issued as one cycle), `d_gating` (the D pin of the gating
+///             flip-flop; bind with RegisterBinding{d_gating, q_gating_pi,
+///             ..., init = kOne}).
+///
+/// Gating semantics reproduced from the paper: when the selected judging
+/// block outputs 0 (two-cycle pattern), the flip-flop latches 0 and the
+/// !(gating) signal disables the input registers' clock for exactly one
+/// cycle ("only a cycle ... will be disabled because the D flip-flop will
+/// latch 1 in the next cycle") — realized as D = one_cycle OR NOT(Q).
+struct AhlControlNetlist {
+  Netlist netlist;
+  int width;
+  int aging_input;     ///< PI index of the aging-indicator signal
+  int q_gating_input;  ///< PI index the gating register's Q must drive
+  // Output order: [0] = one_cycle, [1] = d_gating.
+};
+
+AhlControlNetlist build_ahl_control_netlist(int width, int skip,
+                                            int second_block_offset = 1);
+
+}  // namespace agingsim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/multiplier/multiplier.hpp"
+
+namespace agingsim {
+
+/// Transistor-count area model for the paper's Fig. 25 comparison.
+/// The paper reports "area overhead in transistors"; our counts come from
+/// the generated netlists plus standard register/AHL cell estimates.
+struct AreaBreakdown {
+  std::int64_t combinational = 0;     ///< multiplier array itself
+  std::int64_t input_registers = 0;   ///< 2m plain D flip-flops
+  std::int64_t output_registers = 0;  ///< 2m plain DFFs or Razor FFs
+  std::int64_t ahl = 0;               ///< judging blocks + indicator + gating
+
+  std::int64_t total() const noexcept {
+    return combinational + input_registers + output_registers + ahl;
+  }
+};
+
+/// Transmission-gate master-slave D flip-flop.
+inline constexpr int kDffTransistors = 24;
+/// Razor FF: main FF + shadow latch + XOR comparator + restore mux
+/// (Ernst et al. [27] report roughly double a plain flip-flop).
+inline constexpr int kRazorFfTransistors = 48;
+
+/// AHL circuit transistors for a `width`-bit judging operand: two zero
+/// counters (popcount adder trees), two threshold comparators, the select
+/// MUX, gating DFF + OR, and the aging-indicator error/window counters.
+std::int64_t ahl_transistor_count(int width);
+
+/// Area of a fixed-latency design: multiplier + plain input/output registers.
+AreaBreakdown fixed_latency_area(const MultiplierNetlist& mult);
+
+/// Area of the proposed design: multiplier + plain input registers +
+/// Razor output registers + AHL.
+AreaBreakdown variable_latency_area(const MultiplierNetlist& mult);
+
+}  // namespace agingsim

@@ -1,0 +1,32 @@
+#include "src/core/calibration.hpp"
+
+#include <stdexcept>
+
+#include "src/multiplier/multiplier.hpp"
+#include "src/sim/sta.hpp"
+
+namespace agingsim {
+namespace {
+
+double uncalibrated_cb16_ps() {
+  static const double crit = [] {
+    const MultiplierNetlist cb16 = build_column_bypass_multiplier(16);
+    return run_sta(cb16.netlist, default_tech_library()).critical_path_ps;
+  }();
+  return crit;
+}
+
+}  // namespace
+
+double calibration_scale(double target_cb16_ps) {
+  if (!(target_cb16_ps > 0.0)) {
+    throw std::invalid_argument("calibration_scale: target must be > 0");
+  }
+  return target_cb16_ps / uncalibrated_cb16_ps();
+}
+
+TechLibrary calibrated_tech_library(double target_cb16_ps) {
+  return default_tech_library().scaled(calibration_scale(target_cb16_ps));
+}
+
+}  // namespace agingsim

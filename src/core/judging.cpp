@@ -1,0 +1,43 @@
+#include "src/core/judging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/workload/patterns.hpp"
+
+namespace agingsim {
+
+JudgingBlock::JudgingBlock(int width, int skip) : width_(width), skip_(skip) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("JudgingBlock: width must be in [1,64]");
+  }
+  if (skip < 0 || skip > width + 1) {
+    // skip == width + 1 is allowed: it is the "never one cycle" block the
+    // adaptive MUX can select after extreme aging.
+    throw std::invalid_argument("JudgingBlock: skip must be in [0,width+1]");
+  }
+}
+
+bool JudgingBlock::one_cycle(std::uint64_t operand) const noexcept {
+  return count_zeros(operand, width_) >= skip_;
+}
+
+double expected_one_cycle_ratio(int width, int skip) {
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument("expected_one_cycle_ratio: bad width");
+  }
+  if (skip <= 0) return 1.0;
+  if (skip > width) return 0.0;
+  // Sum C(width, k) for k in [skip, width] over 2^width, computed with
+  // exact 64-bit binomials (safe for width <= 63... C(63,31) < 2^62).
+  long double total = 0.0L;
+  long double binom = 1.0L;  // C(width, 0)
+  for (int k = 0; k <= width; ++k) {
+    if (k >= skip) total += binom;
+    binom = binom * static_cast<long double>(width - k) /
+            static_cast<long double>(k + 1);
+  }
+  return static_cast<double>(total / std::pow(2.0L, width));
+}
+
+}  // namespace agingsim

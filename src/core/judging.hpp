@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace agingsim {
+
+/// One judging block of the AHL circuit (paper Fig. 12): outputs "one cycle"
+/// iff the number of zeros in the judging operand (multiplicand for
+/// column-bypassing, multiplicator for row-bypassing) is >= `skip`.
+/// The paper's Skip-k scenarios are JudgingBlock{width, k}.
+class JudgingBlock {
+ public:
+  JudgingBlock(int width, int skip);
+
+  /// True => the pattern is predicted to finish in one cycle.
+  bool one_cycle(std::uint64_t operand) const noexcept;
+
+  int width() const noexcept { return width_; }
+  int skip() const noexcept { return skip_; }
+
+ private:
+  int width_;
+  int skip_;
+};
+
+/// Analytic one-cycle pattern ratio for uniform random operands:
+/// P(#zeros >= skip) = binomial tail of Bin(width, 1/2). This is the
+/// expected value behind the paper's Tables I and II.
+double expected_one_cycle_ratio(int width, int skip);
+
+}  // namespace agingsim

@@ -1,0 +1,4 @@
+// RazorBank is header-only; this translation unit exists so the component
+// owns a .cpp for future non-inline additions and keeps the build layout
+// uniform (one object per core component).
+#include "src/core/razor.hpp"

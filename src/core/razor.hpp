@@ -1,0 +1,51 @@
+#pragma once
+
+namespace agingsim {
+
+/// Behavioural model of the 2m-bit Razor flip-flop bank at the multiplier
+/// output (paper Fig. 11). The main flip-flop samples at the cycle period T;
+/// the shadow latch samples on a delayed clock and is compared with an XOR.
+///
+/// The paper's usage contract: a one-cycle pattern whose true path delay
+/// exceeds T is caught by the Razor bank, the error signal is raised, and
+/// the operation is re-executed "using three extra cycles (one cycle for
+/// Razor flip-flops and two cycles for re-execution)".
+struct RazorConfig {
+  /// How far past the main clock edge the shadow latch still captures a
+  /// correct value, in cycle periods. The variable-latency scheme guarantees
+  /// every path fits in two cycles, so the shadow window spans a full extra
+  /// period by design.
+  double shadow_window_cycles = 1.0;
+  /// Extra cycles consumed by a detected violation (paper Section IV-B).
+  int reexec_penalty_cycles = 3;
+};
+
+class RazorBank {
+ public:
+  explicit RazorBank(RazorConfig config) : config_(config) {}
+
+  /// Main flip-flop captured a wrong value: the operation's settled output
+  /// arrived after the clock edge.
+  static bool violation(double delay_ps, double period_ps) noexcept {
+    return delay_ps > period_ps;
+  }
+
+  /// Whether the shadow latch still holds the correct value, i.e. the
+  /// violation is detectable and recoverable. A delay beyond the shadow
+  /// window would silently corrupt the result; the system model counts
+  /// such events separately and the test suite proves they cannot occur
+  /// when T >= critical_path / 2.
+  bool detectable(double delay_ps, double period_ps) const noexcept {
+    return delay_ps <= period_ps * (1.0 + config_.shadow_window_cycles);
+  }
+
+  int reexec_penalty_cycles() const noexcept {
+    return config_.reexec_penalty_cycles;
+  }
+  const RazorConfig& config() const noexcept { return config_; }
+
+ private:
+  RazorConfig config_;
+};
+
+}  // namespace agingsim

@@ -1,0 +1,204 @@
+#include "src/core/vl_multiplier.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "src/sim/sta.hpp"
+
+namespace agingsim {
+namespace {
+
+// Per-bit energy of the AHL zero-counter + comparator per judged pattern.
+// The AHL is a popcount tree over the judging operand: its activity scales
+// with the operand width.
+constexpr double kAhlEnergyPerBitFj = 0.5;
+
+}  // namespace
+
+std::vector<OpTrace> compute_op_trace(
+    const MultiplierNetlist& mult, const TechLibrary& tech,
+    std::span<const OperandPattern> patterns,
+    std::span<const double> gate_delay_scale) {
+  MultiplierSim sim(mult, tech, gate_delay_scale);
+  std::vector<OpTrace> trace;
+  trace.reserve(patterns.size());
+  std::uint64_t prev_a = 0, prev_b = 0, prev_p = 0;
+  bool first = true;
+  for (const OperandPattern& pat : patterns) {
+    const StepResult step = sim.apply(pat.a, pat.b);
+    OpTrace op;
+    op.a = pat.a;
+    op.b = pat.b;
+    op.product = sim.product();
+    op.delay_ps = step.output_settle_ps;
+    op.switched_cap_ff = step.switched_cap_ff;
+    op.in_toggles =
+        first ? 0
+              : std::popcount(pat.a ^ prev_a) + std::popcount(pat.b ^ prev_b);
+    op.out_toggles = first ? 0 : std::popcount(op.product ^ prev_p);
+
+    const std::uint64_t expect = reference_multiply(pat.a, pat.b, mult.width);
+    if (op.product != expect) {
+      throw std::logic_error(
+          "compute_op_trace: netlist product mismatch: " +
+          std::to_string(pat.a) + " * " + std::to_string(pat.b) + " = " +
+          std::to_string(expect) + ", netlist says " +
+          std::to_string(op.product));
+    }
+    trace.push_back(op);
+    prev_a = pat.a;
+    prev_b = pat.b;
+    prev_p = op.product;
+    first = false;
+  }
+  return trace;
+}
+
+double critical_path_ps(const MultiplierNetlist& mult, const TechLibrary& tech,
+                        std::span<const double> gate_delay_scale) {
+  return run_sta(mult.netlist, tech, gate_delay_scale).critical_path_ps;
+}
+
+VariableLatencySystem::VariableLatencySystem(const MultiplierNetlist& mult,
+                                             const TechLibrary& tech,
+                                             VlSystemConfig config)
+    : mult_(&mult), tech_(&tech), config_(config), power_(tech) {
+  if (!(config.period_ps > 0.0)) {
+    throw std::invalid_argument("VariableLatencySystem: period must be > 0");
+  }
+  if (config.ahl.width != mult.width) {
+    throw std::invalid_argument(
+        "VariableLatencySystem: AHL width must match the multiplier width");
+  }
+}
+
+RunStats VariableLatencySystem::run(std::span<const OpTrace> trace,
+                                    double mean_dvth_v) {
+  AdaptiveHoldLogic ahl(config_.ahl);
+  RazorBank razor(config_.razor);
+  const double period = config_.period_ps;
+  const bool judge_on_a = judges_on_multiplicand(mult_->arch);
+  const int width = mult_->width;
+  const int ff_bits = 2 * width;  // per bank: two operands in, 2m product out
+
+  RunStats s;
+  s.period_ps = period;
+  for (const OpTrace& op : trace) {
+    const std::uint64_t judging = judge_on_a ? op.a : op.b;
+    const int decided = ahl.decide_cycles(judging);
+    bool error = false;
+    std::uint64_t cycles;
+    if (decided == 1) {
+      ++s.one_cycle_ops;
+      if (RazorBank::violation(op.delay_ps, period)) {
+        if (razor.detectable(op.delay_ps, period)) {
+          error = true;
+          ++s.errors;
+          cycles = 1 + static_cast<std::uint64_t>(razor.reexec_penalty_cycles());
+        } else {
+          // Outside the shadow window: silently wrong result. The
+          // variable-latency contract (T >= crit/2) makes this impossible;
+          // tracked so tests and benches can assert it stays zero.
+          ++s.undetected;
+          cycles = 1;
+        }
+      } else {
+        cycles = 1;
+      }
+    } else {
+      ++s.two_cycle_ops;
+      cycles = 2;
+      if (op.delay_ps > 2.0 * period) ++s.undetected;
+    }
+    ahl.record_outcome(error);
+
+    s.total_cycles += cycles;
+    ++s.ops;
+
+    // Energy. Combinational switching is policy-independent; registers and
+    // AHL depend on the cycle structure:
+    //  - input flip-flops latch new operands once per op; hold cycles are
+    //    clock-gated (the paper's !(gating) signal), so they contribute no
+    //    further clock energy;
+    //  - Razor flip-flops sample every cycle (they cannot be gated — they
+    //    are the error detector).
+    s.comb_energy_fj += power_.dynamic_energy_fj(op.switched_cap_ff);
+    s.register_energy_fj += power_.dff_bank_energy_fj(ff_bits, op.in_toggles);
+    s.register_energy_fj +=
+        static_cast<double>(cycles) *
+        power_.razor_bank_energy_fj(ff_bits, 0) +
+        power_.razor_bank_energy_fj(0, op.out_toggles);
+    s.ahl_energy_fj += kAhlEnergyPerBitFj * static_cast<double>(width);
+  }
+  s.switched_to_second_block = ahl.using_second_block();
+
+  const double total_time_ps =
+      static_cast<double>(s.total_cycles) * period;
+  const double leak_nw =
+      power_.leakage_power_nw(mult_->netlist, mean_dvth_v);
+  // nW * ps = 1e-9 W * 1e-12 s = 1e-21 J = 1e-6 fJ.
+  s.leakage_energy_fj = leak_nw * total_time_ps * 1e-6;
+  s.total_energy_fj = s.comb_energy_fj + s.register_energy_fj +
+                      s.ahl_energy_fj + s.leakage_energy_fj;
+
+  if (s.ops > 0) {
+    s.avg_cycles = static_cast<double>(s.total_cycles) /
+                   static_cast<double>(s.ops);
+    s.avg_latency_ps = s.avg_cycles * period;
+    s.one_cycle_ratio = static_cast<double>(s.one_cycle_ops) /
+                        static_cast<double>(s.ops);
+    s.errors_per_10k_ops = static_cast<double>(s.errors) * 10000.0 /
+                           static_cast<double>(s.ops);
+    // fJ / ps = mW.
+    s.avg_power_mw = s.total_energy_fj / total_time_ps;
+    s.edp_mw_ns2 = energy_delay_product(s.avg_power_mw,
+                                        s.avg_latency_ps * 1e-3);
+  }
+  return s;
+}
+
+FixedLatencySystem::FixedLatencySystem(const MultiplierNetlist& mult,
+                                       const TechLibrary& tech)
+    : mult_(&mult), tech_(&tech), power_(tech) {}
+
+RunStats FixedLatencySystem::run(std::span<const OpTrace> trace,
+                                 double period_ps, double mean_dvth_v) {
+  if (!(period_ps > 0.0)) {
+    throw std::invalid_argument("FixedLatencySystem: period must be > 0");
+  }
+  const int ff_bits = 2 * mult_->width;
+  RunStats s;
+  s.period_ps = period_ps;
+  for (const OpTrace& op : trace) {
+    if (op.delay_ps > period_ps) {
+      // A fixed-latency design clocked faster than its critical path is
+      // simply broken; callers must pass the (aged) critical path.
+      ++s.undetected;
+    }
+    ++s.ops;
+    s.total_cycles += 1;
+    s.comb_energy_fj += power_.dynamic_energy_fj(op.switched_cap_ff);
+    // Plain D flip-flop banks at input and output (paper's fairness note in
+    // Section IV-E: baseline power includes both register banks).
+    s.register_energy_fj += power_.dff_bank_energy_fj(ff_bits, op.in_toggles);
+    s.register_energy_fj += power_.dff_bank_energy_fj(ff_bits, op.out_toggles);
+  }
+  const double total_time_ps =
+      static_cast<double>(s.total_cycles) * period_ps;
+  const double leak_nw = power_.leakage_power_nw(mult_->netlist, mean_dvth_v);
+  s.leakage_energy_fj = leak_nw * total_time_ps * 1e-6;
+  s.total_energy_fj =
+      s.comb_energy_fj + s.register_energy_fj + s.leakage_energy_fj;
+  if (s.ops > 0) {
+    s.avg_cycles = 1.0;
+    s.avg_latency_ps = period_ps;
+    s.one_cycle_ratio = 1.0;
+    s.avg_power_mw = s.total_energy_fj / total_time_ps;
+    s.edp_mw_ns2 =
+        energy_delay_product(s.avg_power_mw, s.avg_latency_ps * 1e-3);
+  }
+  return s;
+}
+
+}  // namespace agingsim

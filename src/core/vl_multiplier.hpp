@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/ahl.hpp"
+#include "src/core/razor.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/power/power.hpp"
+#include "src/workload/patterns.hpp"
+
+namespace agingsim {
+
+/// Circuit-level record of one multiplier operation. The trace is
+/// *policy-independent*: which paths a pattern transition exercises (and
+/// therefore its delay and switched energy) does not depend on the cycle
+/// period, the skip number or the AHL state — so one expensive gate-level
+/// pass per (architecture, aging year) serves every point of the paper's
+/// period/skip sweeps.
+struct OpTrace {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t product = 0;
+  double delay_ps = 0.0;          ///< settled output delay of this transition
+  double switched_cap_ff = 0.0;   ///< combinational switched capacitance
+  int in_toggles = 0;             ///< operand bits that changed vs prev op
+  int out_toggles = 0;            ///< product bits that changed vs prev op
+};
+
+/// Runs the gate-level simulator over `patterns` and returns the per-op
+/// trace. Every product is checked against the golden reference multiply;
+/// a mismatch throws std::logic_error (the trace generator doubles as an
+/// end-to-end correctness oracle). `gate_delay_scale` is the aging overlay
+/// (empty = fresh circuit).
+std::vector<OpTrace> compute_op_trace(
+    const MultiplierNetlist& mult, const TechLibrary& tech,
+    std::span<const OperandPattern> patterns,
+    std::span<const double> gate_delay_scale = {});
+
+/// Critical-path delay (ps) of the (optionally aged) multiplier — the cycle
+/// period a fixed-latency design must budget.
+double critical_path_ps(const MultiplierNetlist& mult, const TechLibrary& tech,
+                        std::span<const double> gate_delay_scale = {});
+
+/// Configuration of the complete proposed architecture (paper Fig. 8).
+struct VlSystemConfig {
+  double period_ps = 900.0;  ///< system cycle period
+  AhlConfig ahl{};           ///< skip number, adaptivity, indicator window
+  RazorConfig razor{};       ///< shadow window, re-execution penalty
+};
+
+/// Aggregate results of running an operation stream through a system model.
+struct RunStats {
+  std::uint64_t ops = 0;
+  std::uint64_t one_cycle_ops = 0;   ///< issued as one cycle by the AHL
+  std::uint64_t two_cycle_ops = 0;   ///< issued as two cycles by the AHL
+  std::uint64_t errors = 0;          ///< Razor-detected timing violations
+  std::uint64_t undetected = 0;      ///< violations outside the shadow window
+  std::uint64_t total_cycles = 0;
+  bool switched_to_second_block = false;
+
+  double period_ps = 0.0;
+  double avg_cycles = 0.0;
+  double avg_latency_ps = 0.0;
+  double one_cycle_ratio = 0.0;
+  /// Errors normalized to the paper's "error count in 10000 cycles" figures.
+  double errors_per_10k_ops = 0.0;
+
+  double total_energy_fj = 0.0;
+  double comb_energy_fj = 0.0;
+  double register_energy_fj = 0.0;
+  double ahl_energy_fj = 0.0;
+  double leakage_energy_fj = 0.0;
+  double avg_power_mw = 0.0;
+  double edp_mw_ns2 = 0.0;
+};
+
+/// The proposed aging-aware variable-latency multiplier system: bypassing
+/// multiplier + input registers with clock gating + AHL + Razor output bank
+/// (paper Fig. 8). Judging operand selection follows the architecture:
+/// multiplicand for column-bypassing, multiplicator for row-bypassing.
+class VariableLatencySystem {
+ public:
+  VariableLatencySystem(const MultiplierNetlist& mult, const TechLibrary& tech,
+                        VlSystemConfig config);
+
+  /// Replays a circuit trace through the architectural policy. `mean_dvth_v`
+  /// is the average device Vth drift at the trace's aging point (drives
+  /// leakage). The AHL state is reset at the start of each run.
+  RunStats run(std::span<const OpTrace> trace, double mean_dvth_v = 0.0);
+
+  const VlSystemConfig& config() const noexcept { return config_; }
+
+ private:
+  const MultiplierNetlist* mult_;
+  const TechLibrary* tech_;
+  VlSystemConfig config_;
+  PowerModel power_;
+};
+
+/// Fixed-latency baseline (AM / FLCB / FLRB): every operation takes one
+/// cycle of length `period_ps` (the aged critical path — fixed designs must
+/// guard-band for degradation, which is exactly the paper's point).
+class FixedLatencySystem {
+ public:
+  FixedLatencySystem(const MultiplierNetlist& mult, const TechLibrary& tech);
+
+  RunStats run(std::span<const OpTrace> trace, double period_ps,
+               double mean_dvth_v = 0.0);
+
+ private:
+  const MultiplierNetlist* mult_;
+  const TechLibrary* tech_;
+  PowerModel power_;
+};
+
+}  // namespace agingsim

@@ -1,0 +1,90 @@
+#include <stdexcept>
+
+#include "src/multiplier/detail.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+namespace detail {
+
+void check_width(int width) {
+  if (width < 2 || width > 32) {
+    throw std::invalid_argument("multiplier width must be in [2, 32]");
+  }
+}
+
+// Shared scaffolding: creates input buses and the partial-product AND plane.
+// pp[i][j] = a_j & b_i (weight i + j).
+ArrayFrame make_frame(NetlistBuilder& nb, int width) {
+  ArrayFrame f;
+  f.a = nb.input_bus("a", width);
+  f.b = nb.input_bus("b", width);
+  f.pp.assign(static_cast<std::size_t>(width),
+              std::vector<NetId>(static_cast<std::size_t>(width)));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      f.pp[i][j] = nb.and2(f.a[j], f.b[i]);
+    }
+  }
+  return f;
+}
+
+// The final carry-propagate (ripple) row shared by all three architectures.
+// Consumes the last CSA row's sums S[j] (j in [0, n], S[n] = 0) and carries
+// C[j], appends product bits p_n .. p_{2n-1}.
+void append_ripple_row(NetlistBuilder& nb, int width,
+                       const std::vector<NetId>& last_sum,
+                       const std::vector<NetId>& last_carry,
+                       std::vector<NetId>& product, NetId cin) {
+  for (int j = 0; j < width; ++j) {
+    const NetId s_in =
+        (j + 1 < width) ? last_sum[static_cast<std::size_t>(j + 1)] : nb.zero();
+    const AdderBits fa =
+        nb.full_adder(s_in, last_carry[static_cast<std::size_t>(j)], cin);
+    product.push_back(fa.sum);
+    cin = fa.carry;
+  }
+  // The weight-2n carry is arithmetically always zero ((2^n-1)^2 < 2^{2n});
+  // the MSB product bit is the sum of the last ripple stage, already pushed.
+}
+
+}  // namespace detail
+
+MultiplierNetlist build_array_multiplier(int width) {
+  detail::check_width(width);
+  NetlistBuilder nb;
+  auto frame = detail::make_frame(nb, width);
+  const std::size_t n = static_cast<std::size_t>(width);
+
+  std::vector<NetId> product;
+  product.reserve(2 * n);
+
+  // Row 0 is just the b_0 partial products.
+  std::vector<NetId> sum(n), carry(n, nb.zero());
+  for (std::size_t j = 0; j < n; ++j) sum[j] = frame.pp[0][j];
+  product.push_back(sum[0]);
+
+  // CSA rows i = 1 .. n-1: FA(i,j) adds pp[i][j] (weight i+j), the shifted
+  // sum from above S[i-1][j+1] and the carry from above C[i-1][j]. Sum bits
+  // go down, carries go to the next row (paper Fig. 1).
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<NetId> nsum(n), ncarry(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const NetId s_above = (j + 1 < n) ? sum[j + 1] : nb.zero();
+      const AdderBits fa = nb.full_adder(frame.pp[i][j], s_above, carry[j]);
+      nsum[j] = fa.sum;
+      ncarry[j] = fa.carry;
+    }
+    sum = std::move(nsum);
+    carry = std::move(ncarry);
+    product.push_back(sum[0]);
+  }
+
+  detail::append_ripple_row(nb, width, sum, carry, product, nb.zero());
+  nb.output_bus("p", product);
+  nb.netlist().validate();
+  return MultiplierNetlist{std::move(nb.netlist()), MultiplierArch::kArray,
+                           width, 0, width};
+}
+
+}  // namespace agingsim

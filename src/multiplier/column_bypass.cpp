@@ -1,0 +1,66 @@
+#include "src/multiplier/detail.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+
+// Column-bypassing multiplier (Wen et al. [22], paper Fig. 2).
+//
+// Column j of the CSA array is controlled by multiplicand bit a_j. When
+// a_j = 0 every partial product in the column is 0 and — because the carry
+// produced inside a bypassed column is killed — every carry entering the
+// column's adders is 0 too, so FA(i,j) would compute 0 + S[i-1][j+1] + 0.
+// The modified cell therefore:
+//   - gates the sum-from-above and carry-in pins with tri-state buffers
+//     (en = a_j). The partial-product pin needs no tri-state: AND(a_j, b_i)
+//     is already frozen at 0 when a_j = 0. With all three inputs frozen the
+//     idle adder holds state and burns no switching power — this is the
+//     power-saving mechanism of [22];
+//   - selects the adder sum or the bypassed upper sum with a MUX (sel=a_j);
+//   - kills the carry with an AND (carry & a_j), which both keeps the column
+//     arithmetic correct and blocks the stale adder output.
+// The final ripple row is left unmodified, as in [22]: its carry inputs are
+// already zero for bypassed columns.
+MultiplierNetlist build_column_bypass_multiplier(int width) {
+  detail::check_width(width);
+  NetlistBuilder nb;
+  auto frame = detail::make_frame(nb, width);
+  const std::size_t n = static_cast<std::size_t>(width);
+
+  std::vector<NetId> product;
+  product.reserve(2 * n);
+
+  std::vector<NetId> sum(n), carry(n, nb.zero());
+  for (std::size_t j = 0; j < n; ++j) sum[j] = frame.pp[0][j];
+  product.push_back(sum[0]);
+
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<NetId> nsum(n), ncarry(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const NetId sel = frame.a[j];
+      const NetId s_above = (j + 1 < n) ? sum[j + 1] : nb.zero();
+      // Tri-state input gating (skipped for constant-zero pins, which have
+      // no toggling to suppress).
+      const NetId s_in = nb.is_zero(s_above) ? s_above : nb.tbuf(s_above, sel);
+      const NetId cin_in =
+          nb.is_zero(carry[j]) ? carry[j] : nb.tbuf(carry[j], sel);
+      const AdderBits fa = nb.full_adder(frame.pp[i][j], s_in, cin_in);
+      // Sum bypass. When the adder degenerated to a wire equal to the
+      // bypass value, the MUX is redundant; keep the fold.
+      nsum[j] = (fa.sum == s_above) ? s_above : nb.mux2(s_above, fa.sum, sel);
+      // Carry kill keeps bypassed columns carry-free.
+      ncarry[j] = nb.and2(fa.carry, sel);
+    }
+    sum = std::move(nsum);
+    carry = std::move(ncarry);
+    product.push_back(sum[0]);
+  }
+
+  detail::append_ripple_row(nb, width, sum, carry, product, nb.zero());
+  nb.output_bus("p", product);
+  nb.netlist().validate();
+  return MultiplierNetlist{std::move(nb.netlist()),
+                           MultiplierArch::kColumnBypass, width, 0, width};
+}
+
+}  // namespace agingsim

@@ -1,0 +1,34 @@
+#pragma once
+
+// Internal helpers shared by the three multiplier generators. Not part of
+// the public API.
+
+#include <vector>
+
+#include "src/netlist/builder.hpp"
+
+namespace agingsim::detail {
+
+/// Input buses and the partial-product AND plane: pp[i][j] = a_j & b_i.
+struct ArrayFrame {
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+  std::vector<std::vector<NetId>> pp;
+};
+
+/// Throws std::invalid_argument unless width is in [2, 32].
+void check_width(int width);
+
+ArrayFrame make_frame(NetlistBuilder& nb, int width);
+
+/// Appends the final carry-propagate (ripple) row: product bits
+/// p_n .. p_{2n-1} from the last CSA row's sums/carries. `cin` is the
+/// carry into the first ripple position (constant zero for the plain and
+/// column-bypassing arrays; the row-bypassing correction chain injects its
+/// final carry here).
+void append_ripple_row(NetlistBuilder& nb, int width,
+                       const std::vector<NetId>& last_sum,
+                       const std::vector<NetId>& last_carry,
+                       std::vector<NetId>& product, NetId cin);
+
+}  // namespace agingsim::detail

@@ -1,0 +1,95 @@
+#include "src/multiplier/detail.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+
+// Row-bypassing multiplier (Ohban et al. [23], paper Fig. 3).
+//
+// Row i of the CSA array is controlled by multiplicator bit b_i. When
+// b_i = 0 the whole row adds nothing and becomes transparent:
+//   - sums bypass diagonally:   S[i][j] = S[i-1][j+1]
+//   - carries bypass diagonally: C[i][j] = C[i-1][j+1]
+// (the carry bypass must take the *diagonal* neighbour to keep weights
+// aligned: C[i][j] feeds FA(i+1,j) of weight i+j+1, and the surviving carry
+// of that weight from row i-1 is C[i-1][j+1]).
+//
+// One value per bypassed row cannot ride the diagonal: C[i-1][0], of weight
+// i — the weight at which the row emits its product bit. A bypassed row
+// would silently drop it. This is the structural reason the row-bypassing
+// design needs the "extra correcting circuit" reported in the literature.
+// We implement it as a correction chain along the low product bits:
+//
+//   orphan_i = !b_i & C[i-1][0]               (dropped only when bypassed)
+//   (p_i, k_i) = FullAdd(p_i_raw, orphan_i, k_{i-1}),   k_0 = 0
+//
+// and the final correction carry k_{n-1} (weight n) enters the ripple row
+// through its carry-in, which is free in the plain array.
+//
+// All three adder inputs are gated with tri-state buffers so an idle row
+// holds state and burns no switching power; sum and carry each get a bypass
+// MUX. The extra carry MUX and correction chain are why the row-bypassing
+// multiplier is larger than the column-bypassing one (paper Section IV-D).
+MultiplierNetlist build_row_bypass_multiplier(int width) {
+  detail::check_width(width);
+  NetlistBuilder nb;
+  auto frame = detail::make_frame(nb, width);
+  const std::size_t n = static_cast<std::size_t>(width);
+
+  std::vector<NetId> raw_product;  // pre-correction row product bits
+  std::vector<NetId> orphan;       // weight-i carry dropped by a bypassed row
+  raw_product.reserve(n);
+  orphan.reserve(n);
+
+  std::vector<NetId> sum(n), carry(n, nb.zero());
+  for (std::size_t j = 0; j < n; ++j) sum[j] = frame.pp[0][j];
+  raw_product.push_back(sum[0]);
+  orphan.push_back(nb.zero());  // row 0 has no carries above it
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const NetId sel = frame.b[i];
+    const NetId not_sel = nb.inv(sel);
+    // The carry the diagonal bypass cannot absorb.
+    orphan.push_back(nb.and2(not_sel, carry[0]));
+
+    std::vector<NetId> nsum(n), ncarry(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const NetId s_above = (j + 1 < n) ? sum[j + 1] : nb.zero();
+      const NetId c_above = carry[j];
+      const NetId c_diag = (j + 1 < n) ? carry[j + 1] : nb.zero();
+      const auto gated = [&](NetId net) {
+        return nb.is_zero(net) ? net : nb.tbuf(net, sel);
+      };
+      // The partial-product pin is inherently gated: AND(a_j, b_i) freezes
+      // at 0 while b_i = 0, so only the sum and carry pins need tri-states
+      // for the idle row to be completely quiet.
+      const AdderBits fa = nb.full_adder(frame.pp[i][j], gated(s_above),
+                                         gated(c_above));
+      nsum[j] = (fa.sum == s_above) ? s_above : nb.mux2(s_above, fa.sum, sel);
+      ncarry[j] =
+          (fa.carry == c_diag) ? c_diag : nb.mux2(c_diag, fa.carry, sel);
+    }
+    sum = std::move(nsum);
+    carry = std::move(ncarry);
+    raw_product.push_back(sum[0]);
+  }
+
+  // Correction chain over the low product bits.
+  std::vector<NetId> product;
+  product.reserve(2 * n);
+  product.push_back(raw_product[0]);
+  NetId k = nb.zero();
+  for (std::size_t i = 1; i < n; ++i) {
+    const AdderBits corr = nb.full_adder(raw_product[i], orphan[i], k);
+    product.push_back(corr.sum);
+    k = corr.carry;
+  }
+
+  detail::append_ripple_row(nb, width, sum, carry, product, k);
+  nb.output_bus("p", product);
+  nb.netlist().validate();
+  return MultiplierNetlist{std::move(nb.netlist()),
+                           MultiplierArch::kRowBypass, width, 0, width};
+}
+
+}  // namespace agingsim

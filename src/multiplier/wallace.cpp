@@ -1,0 +1,91 @@
+#include <deque>
+
+#include "src/adder/adder.hpp"
+#include "src/multiplier/detail.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+
+// Wallace-tree multiplier: an additional (library-extension) architecture
+// beyond the paper's three. The partial products are reduced column-wise
+// with carry-save adders until every column holds at most two bits, then a
+// final ripple adder produces the product. Depth is O(log n) instead of the
+// array's O(n), so it is the latency-optimized fixed design; it has no
+// bypass structure, so its per-pattern delay correlates only weakly with
+// operand zeros — the ablation bench uses it to show *why* the bypassing
+// multipliers are the right substrate for zero-count judging.
+MultiplierNetlist build_wallace_tree_multiplier(int width) {
+  detail::check_width(width);
+  NetlistBuilder nb;
+  auto frame = detail::make_frame(nb, width);
+  const std::size_t n = static_cast<std::size_t>(width);
+
+  // columns[w] = bits of weight w awaiting reduction.
+  std::vector<std::deque<NetId>> columns(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      columns[i + j].push_back(frame.pp[i][j]);
+    }
+  }
+
+  // Carry-save reduction in stages: every stage compresses the bits that
+  // existed at the *start* of the stage (full adders 3->2, a half adder on
+  // a leftover pair when the column still holds more than two bits), so
+  // stages run in parallel and depth is O(log n). Outputs are deferred to
+  // the next stage's columns.
+  auto too_tall = [&columns] {
+    for (const auto& col : columns) {
+      if (col.size() > 2) return true;
+    }
+    return false;
+  };
+  while (too_tall()) {
+    std::vector<std::deque<NetId>> next(columns.size());
+    for (std::size_t w = 0; w < columns.size(); ++w) {
+      auto& col = columns[w];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const AdderBits fa = nb.full_adder(col[i], col[i + 1], col[i + 2]);
+        next[w].push_back(fa.sum);
+        if (w + 1 < next.size()) next[w + 1].push_back(fa.carry);
+        i += 3;
+      }
+      if (col.size() - i == 2 && col.size() > 2) {
+        const AdderBits ha = nb.half_adder(col[i], col[i + 1]);
+        next[w].push_back(ha.sum);
+        if (w + 1 < next.size()) next[w + 1].push_back(ha.carry);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[w].push_back(col[i]);
+    }
+    columns = std::move(next);
+  }
+
+  // Final carry-propagate stage over the remaining <= 2 bits per column,
+  // using the Kogge-Stone prefix network so the multiplier keeps its
+  // logarithmic depth end to end.
+  std::vector<NetId> x(columns.size()), y(columns.size());
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    x[w] = columns[w].empty() ? nb.zero() : columns[w][0];
+    y[w] = columns[w].size() > 1 ? columns[w][1] : nb.zero();
+  }
+  std::vector<NetId> g(columns.size()), p(columns.size());
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    g[w] = nb.and2(x[w], y[w]);
+    p[w] = nb.xor2(x[w], y[w]);
+  }
+  const auto carries = kogge_stone_carries(nb, g, p, nb.zero());
+  std::vector<NetId> product;
+  product.reserve(2 * n);
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    product.push_back(nb.xor2(p[w], carries[w]));
+  }
+
+  nb.output_bus("p", product);
+  nb.netlist().validate();
+  return MultiplierNetlist{std::move(nb.netlist()),
+                           MultiplierArch::kWallaceTree, width, 0, width};
+}
+
+}  // namespace agingsim

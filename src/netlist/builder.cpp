@@ -1,0 +1,99 @@
+#include "src/netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace agingsim {
+
+NetId NetlistBuilder::zero() {
+  if (zero_ == kInvalidNet) zero_ = nl_.add_gate(CellKind::kTie0, {});
+  return zero_;
+}
+
+NetId NetlistBuilder::one() {
+  if (one_ == kInvalidNet) one_ = nl_.add_gate(CellKind::kTie1, {});
+  return one_;
+}
+
+std::vector<NetId> NetlistBuilder::input_bus(const std::string& name,
+                                             int width) {
+  std::vector<NetId> bits;
+  bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bits.push_back(input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bits;
+}
+
+void NetlistBuilder::output_bus(const std::string& name,
+                                const std::vector<NetId>& bits) {
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    nl_.mark_output(bits[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+NetId NetlistBuilder::and2(NetId a, NetId b) {
+  if (is_zero(a) || is_zero(b)) return zero();
+  if (is_one(a)) return b;
+  if (is_one(b)) return a;
+  return nl_.add_gate(CellKind::kAnd2, {a, b});
+}
+
+NetId NetlistBuilder::or2(NetId a, NetId b) {
+  if (is_one(a) || is_one(b)) return one();
+  if (is_zero(a)) return b;
+  if (is_zero(b)) return a;
+  return nl_.add_gate(CellKind::kOr2, {a, b});
+}
+
+NetId NetlistBuilder::xor2(NetId a, NetId b) {
+  if (is_zero(a)) return b;
+  if (is_zero(b)) return a;
+  if (is_one(a)) return inv(b);
+  if (is_one(b)) return inv(a);
+  return nl_.add_gate(CellKind::kXor2, {a, b});
+}
+
+std::vector<NetId> NetlistBuilder::instantiate(
+    const Netlist& sub, std::span<const NetId> inputs) {
+  if (inputs.size() != sub.num_inputs()) {
+    throw std::invalid_argument(
+        "NetlistBuilder::instantiate: input binding count mismatch");
+  }
+  std::vector<NetId> map(sub.num_nets(), kInvalidNet);
+  const auto sub_inputs = sub.input_nets();
+  for (std::size_t i = 0; i < sub_inputs.size(); ++i) {
+    map[sub_inputs[i]] = inputs[i];
+  }
+  for (GateId g = 0; g < sub.num_gates(); ++g) {
+    const Gate& gate = sub.gate(g);
+    std::vector<NetId> mapped;
+    for (NetId in : sub.gate_inputs(g)) mapped.push_back(map[in]);
+    map[gate.out] = nl_.add_gate(gate.kind, mapped);
+  }
+  std::vector<NetId> outs;
+  outs.reserve(sub.num_outputs());
+  for (NetId out : sub.output_nets()) outs.push_back(map[out]);
+  return outs;
+}
+
+AdderBits NetlistBuilder::half_adder(NetId a, NetId b) {
+  if (is_zero(a)) return {b, zero()};
+  if (is_zero(b)) return {a, zero()};
+  return {xor2(a, b), and2(a, b)};
+}
+
+AdderBits NetlistBuilder::full_adder(NetId a, NetId b, NetId cin) {
+  // Constant folding: any zero pin reduces the FA to a half adder; two zero
+  // pins reduce it to a wire.
+  if (is_zero(cin)) return half_adder(a, b);
+  if (is_zero(a)) return half_adder(b, cin);
+  if (is_zero(b)) return half_adder(a, cin);
+  const NetId t = xor2(a, b);
+  const NetId sum = xor2(t, cin);
+  const NetId g = and2(a, b);
+  const NetId p = and2(t, cin);
+  const NetId carry = or2(g, p);
+  return {sum, carry};
+}
+
+}  // namespace agingsim

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Sum/carry pair produced by adder helpers.
+struct AdderBits {
+  NetId sum;
+  NetId carry;
+};
+
+/// Convenience layer for structural netlist construction.
+///
+/// Adds cached constant nets, bus helpers and adder macros (with
+/// constant-folding: a full adder fed a constant-zero pin degenerates to a
+/// half adder or a wire, which is exactly how the hand-drawn arrays in the
+/// paper's Figs. 1-3 are built — first rows use half adders).
+class NetlistBuilder {
+ public:
+  Netlist& netlist() noexcept { return nl_; }
+  const Netlist& netlist() const noexcept { return nl_; }
+
+  /// Constant-zero / constant-one nets (created on first use, then cached).
+  NetId zero();
+  NetId one();
+  bool is_zero(NetId n) const noexcept { return zero_ != kInvalidNet && n == zero_; }
+  bool is_one(NetId n) const noexcept { return one_ != kInvalidNet && n == one_; }
+
+  NetId input(std::string name) { return nl_.add_input(std::move(name)); }
+  /// Creates `width` inputs named `name[0] .. name[width-1]`, LSB first.
+  std::vector<NetId> input_bus(const std::string& name, int width);
+  /// Marks `bits` (LSB first) as outputs `name[0..]`.
+  void output_bus(const std::string& name, const std::vector<NetId>& bits);
+
+  NetId buf(NetId a) { return nl_.add_gate(CellKind::kBuf, {a}); }
+  NetId inv(NetId a) { return nl_.add_gate(CellKind::kInv, {a}); }
+  NetId and2(NetId a, NetId b);
+  NetId or2(NetId a, NetId b);
+  NetId xor2(NetId a, NetId b);
+  /// out = sel ? d1 : d0
+  NetId mux2(NetId d0, NetId d1, NetId sel) {
+    return nl_.add_gate(CellKind::kMux2, {d0, d1, sel});
+  }
+  /// out = en ? d : hold
+  NetId tbuf(NetId d, NetId en) {
+    return nl_.add_gate(CellKind::kTbuf, {d, en});
+  }
+
+  /// Instantiates `sub` as a subcircuit: `sub`'s primary inputs are bound
+  /// to `inputs` (same order), its gates are copied with nets remapped, and
+  /// the nets corresponding to `sub`'s primary outputs are returned. This
+  /// is how generated blocks (e.g. the AHL judging-block netlists) compose
+  /// into larger circuits.
+  std::vector<NetId> instantiate(const Netlist& sub,
+                                 std::span<const NetId> inputs);
+
+  /// Half adder: sum = a^b, carry = a&b (constant-folded).
+  AdderBits half_adder(NetId a, NetId b);
+  /// Full adder built from 2 XOR + 2 AND + 1 OR (constant-folded when any
+  /// input is the constant-zero net).
+  AdderBits full_adder(NetId a, NetId b, NetId cin);
+
+ private:
+  Netlist nl_;
+  NetId zero_ = kInvalidNet;
+  NetId one_ = kInvalidNet;
+};
+
+}  // namespace agingsim

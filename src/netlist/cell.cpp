@@ -1,0 +1,91 @@
+#include "src/netlist/cell.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace agingsim {
+namespace {
+
+// Transistor counts are standard static-CMOS implementations:
+// INV 2, NAND2/NOR2 4, AND2/OR2 6 (NAND/NOR + INV), XOR2/XNOR2 10,
+// AND3/OR3 8, transmission-gate MUX2 12 (incl. select inverter and output
+// buffer), TBUF 8 (incl. enable inverter), tie cells 2.
+constexpr std::array<CellTraits, kNumCellKinds> kTraits{{
+    {"BUF", 1, 4},
+    {"INV", 1, 2},
+    {"AND2", 2, 6},
+    {"NAND2", 2, 4},
+    {"OR2", 2, 6},
+    {"NOR2", 2, 4},
+    {"XOR2", 2, 10},
+    {"XNOR2", 2, 10},
+    {"AND3", 3, 8},
+    {"OR3", 3, 8},
+    {"MUX2", 3, 12},
+    {"TBUF", 2, 8},
+    {"TIE0", 0, 2},
+    {"TIE1", 0, 2},
+}};
+
+}  // namespace
+
+const CellTraits& cell_traits(CellKind kind) noexcept {
+  assert(kind < CellKind::kCount);
+  return kTraits[static_cast<std::size_t>(kind)];
+}
+
+Logic eval_cell(CellKind kind, std::span<const Logic> inputs,
+                Logic prev_out) noexcept {
+  assert(inputs.size() ==
+         static_cast<std::size_t>(cell_traits(kind).num_inputs));
+  switch (kind) {
+    case CellKind::kBuf:
+      return is_known(inputs[0]) ? inputs[0] : Logic::kX;
+    case CellKind::kInv:
+      return logic_not(inputs[0]);
+    case CellKind::kAnd2:
+      return logic_and(inputs[0], inputs[1]);
+    case CellKind::kNand2:
+      return logic_not(logic_and(inputs[0], inputs[1]));
+    case CellKind::kOr2:
+      return logic_or(inputs[0], inputs[1]);
+    case CellKind::kNor2:
+      return logic_not(logic_or(inputs[0], inputs[1]));
+    case CellKind::kXor2:
+      return logic_xor(inputs[0], inputs[1]);
+    case CellKind::kXnor2:
+      return logic_not(logic_xor(inputs[0], inputs[1]));
+    case CellKind::kAnd3:
+      return logic_and(logic_and(inputs[0], inputs[1]), inputs[2]);
+    case CellKind::kOr3:
+      return logic_or(logic_or(inputs[0], inputs[1]), inputs[2]);
+    case CellKind::kMux2: {
+      const Logic sel = inputs[2];
+      if (sel == Logic::kZero) return is_known(inputs[0]) ? inputs[0] : Logic::kX;
+      if (sel == Logic::kOne) return is_known(inputs[1]) ? inputs[1] : Logic::kX;
+      // Unknown select: output known only if both data inputs agree.
+      if (is_known(inputs[0]) && inputs[0] == inputs[1]) return inputs[0];
+      return Logic::kX;
+    }
+    case CellKind::kTbuf: {
+      const Logic en = inputs[1];
+      if (en == Logic::kOne) return is_known(inputs[0]) ? inputs[0] : Logic::kX;
+      if (en == Logic::kZero) {
+        // Disabled: bus keeper retains the last driven value; if the net was
+        // never driven it floats (Z at power-up, then X once observed).
+        return prev_out == Logic::kZ ? Logic::kZ : prev_out;
+      }
+      return Logic::kX;
+    }
+    case CellKind::kTie0:
+      return Logic::kZero;
+    case CellKind::kTie1:
+      return Logic::kOne;
+    case CellKind::kCount:
+      break;
+  }
+  assert(false && "invalid cell kind");
+  return Logic::kX;
+}
+
+}  // namespace agingsim

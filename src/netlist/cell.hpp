@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/netlist/logic.hpp"
+
+namespace agingsim {
+
+/// Standard-cell kinds available to netlist generators.
+///
+/// Pin conventions (input order matters):
+///  - kMux2:  in[0] = d0, in[1] = d1, in[2] = sel;  out = sel ? d1 : d0
+///  - kTbuf:  in[0] = d,  in[1] = en;               out = en ? d : Z (keeper)
+///  - kTie0 / kTie1: no inputs, constant output.
+/// All other kinds take their natural number of symmetric inputs.
+enum class CellKind : std::uint8_t {
+  kBuf = 0,
+  kInv,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAnd3,
+  kOr3,
+  kMux2,
+  kTbuf,
+  kTie0,
+  kTie1,
+  kCount,  // sentinel
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kCount);
+
+/// Static, technology-independent properties of a cell kind.
+struct CellTraits {
+  std::string_view name;
+  int num_inputs;
+  /// CMOS transistor count of a typical static implementation; used for the
+  /// paper's Fig. 25 area comparison (area is reported in transistors).
+  int transistor_count;
+};
+
+/// Traits lookup. `kind` must be a valid (non-sentinel) cell kind.
+const CellTraits& cell_traits(CellKind kind) noexcept;
+
+/// Functional evaluation of one cell over four-state logic.
+///
+/// `inputs.size()` must equal `cell_traits(kind).num_inputs`.
+/// `prev_out` is the previous value of the output net; it is needed only by
+/// kTbuf, whose disabled output keeps its last driven value (bus-keeper
+/// semantics — this models the tri-state input gating of the bypassing
+/// multipliers, where a disabled full adder simply holds state and burns no
+/// switching power).
+Logic eval_cell(CellKind kind, std::span<const Logic> inputs,
+                Logic prev_out) noexcept;
+
+}  // namespace agingsim

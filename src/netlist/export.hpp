@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Structural-Verilog emitter. The output instantiates one primitive module
+/// per cell kind (definitions included in the emitted text), so the result
+/// is self-contained and synthesizable/simulatable with any Verilog tool —
+/// the paper's own flow (Verilog -> Laker -> Nanosim) can consume these
+/// netlists directly. Tri-state keepers are emitted as `bufif1` with a
+/// `trireg` net, matching the simulator's hold semantics.
+std::string to_verilog(const Netlist& netlist, const std::string& module_name);
+
+/// Graphviz DOT emitter for small netlists (schematics, documentation).
+/// `max_gates` guards against accidentally dumping a 10k-gate multiplier
+/// into a .dot file; throws std::invalid_argument beyond it.
+std::string to_dot(const Netlist& netlist, const std::string& graph_name,
+                   std::size_t max_gates = 2000);
+
+}  // namespace agingsim

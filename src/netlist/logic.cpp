@@ -1,0 +1,19 @@
+#include "src/netlist/logic.hpp"
+
+namespace agingsim {
+
+char logic_to_char(Logic v) noexcept {
+  switch (v) {
+    case Logic::kZero: return '0';
+    case Logic::kOne: return '1';
+    case Logic::kX: return 'X';
+    case Logic::kZ: return 'Z';
+  }
+  return '?';
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v) {
+  return os << logic_to_char(v);
+}
+
+}  // namespace agingsim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace agingsim {
+
+/// Four-state logic value used throughout the gate-level simulator.
+///
+/// `kX` is the "unknown" state a net holds before it has ever been driven
+/// (e.g. the data input of a disabled tri-state gate at power-up). `kZ` is
+/// high impedance, produced only by a disabled tri-state buffer whose output
+/// net has no keeper state yet. Both propagate pessimistically through the
+/// evaluation rules in `cell.hpp`.
+enum class Logic : std::uint8_t {
+  kZero = 0,
+  kOne = 1,
+  kX = 2,
+  kZ = 3,
+};
+
+/// True for kZero / kOne.
+constexpr bool is_known(Logic v) noexcept {
+  return v == Logic::kZero || v == Logic::kOne;
+}
+
+constexpr Logic logic_from_bool(bool b) noexcept {
+  return b ? Logic::kOne : Logic::kZero;
+}
+
+/// Converts a known value to bool. Precondition: is_known(v).
+constexpr bool logic_to_bool(Logic v) noexcept { return v == Logic::kOne; }
+
+/// Logical negation; X/Z map to X.
+constexpr Logic logic_not(Logic v) noexcept {
+  switch (v) {
+    case Logic::kZero: return Logic::kOne;
+    case Logic::kOne: return Logic::kZero;
+    default: return Logic::kX;
+  }
+}
+
+/// Three-valued AND with controlling-zero short-circuit.
+constexpr Logic logic_and(Logic a, Logic b) noexcept {
+  if (a == Logic::kZero || b == Logic::kZero) return Logic::kZero;
+  if (a == Logic::kOne && b == Logic::kOne) return Logic::kOne;
+  return Logic::kX;
+}
+
+/// Three-valued OR with controlling-one short-circuit.
+constexpr Logic logic_or(Logic a, Logic b) noexcept {
+  if (a == Logic::kOne || b == Logic::kOne) return Logic::kOne;
+  if (a == Logic::kZero && b == Logic::kZero) return Logic::kZero;
+  return Logic::kX;
+}
+
+/// Three-valued XOR (X-propagating).
+constexpr Logic logic_xor(Logic a, Logic b) noexcept {
+  if (!is_known(a) || !is_known(b)) return Logic::kX;
+  return logic_from_bool(logic_to_bool(a) != logic_to_bool(b));
+}
+
+char logic_to_char(Logic v) noexcept;
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+}  // namespace agingsim

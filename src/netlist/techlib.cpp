@@ -1,0 +1,64 @@
+#include "src/netlist/techlib.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+// Representative 32 nm-class standard-cell delays (ps) and switched
+// capacitance (fF). Relative magnitudes follow typical library data:
+// inverting 2-input gates fastest, XOR/MUX ~2x a NAND, tri-state buffers
+// close to a buffer. Tie cells are sources with no propagation.
+TechLibrary make_default() {
+  TechLibrary t{};
+  auto set = [&t](CellKind k, double d_ps, double c_ff) {
+    t.delay_ps[static_cast<std::size_t>(k)] = d_ps;
+    t.switch_cap_ff[static_cast<std::size_t>(k)] = c_ff;
+  };
+  set(CellKind::kBuf, 16.0, 1.2);
+  set(CellKind::kInv, 9.0, 0.7);
+  set(CellKind::kAnd2, 17.0, 1.3);
+  set(CellKind::kNand2, 12.0, 1.0);
+  set(CellKind::kOr2, 18.0, 1.3);
+  set(CellKind::kNor2, 14.0, 1.0);
+  set(CellKind::kXor2, 26.0, 2.0);
+  set(CellKind::kXnor2, 26.0, 2.0);
+  set(CellKind::kAnd3, 21.0, 1.6);
+  set(CellKind::kOr3, 22.0, 1.6);
+  // MUX2/TBUF are transmission-gate cells: their internal switched charge
+  // per output transition is well below a full static gate's.
+  set(CellKind::kMux2, 24.0, 1.1);
+  set(CellKind::kTbuf, 15.0, 0.7);
+  set(CellKind::kTie0, 0.0, 0.0);
+  set(CellKind::kTie1, 0.0, 0.0);
+  return t;
+}
+
+}  // namespace
+
+const TechLibrary& default_tech_library() {
+  static const TechLibrary lib = make_default();
+  return lib;
+}
+
+TechLibrary TechLibrary::scaled(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("TechLibrary::scaled: factor must be > 0");
+  }
+  TechLibrary out = *this;
+  for (auto& d : out.delay_ps) d *= factor;
+  return out;
+}
+
+double delay_scale_from_dvth(const TechLibrary& tech, double dvth_v) {
+  const double drive0 = tech.vdd_v - tech.vth0_v;
+  const double drive = drive0 - dvth_v;
+  if (!(drive > 0.0)) {
+    throw std::invalid_argument(
+        "delay_scale_from_dvth: dVth drives gate overdrive non-positive");
+  }
+  return std::pow(drive0 / drive, tech.alpha_power);
+}
+
+}  // namespace agingsim

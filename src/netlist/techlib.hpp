@@ -1,0 +1,49 @@
+#pragma once
+
+#include <array>
+
+#include "src/netlist/cell.hpp"
+
+namespace agingsim {
+
+/// Technology parameters of the 32 nm high-k/metal-gate class process the
+/// paper simulates (PTM 32 nm HK). Per-cell nominal delays and input
+/// capacitances are representative standard-cell values; a single global
+/// scale factor is applied at calibration time so that the 16x16
+/// column-bypassing multiplier's critical path matches the paper's 1.88 ns
+/// (see core/calibration.hpp). All relative numbers — which design is
+/// faster, where the variable-latency crossovers fall — come from circuit
+/// structure, not from the calibration point.
+struct TechLibrary {
+  /// Per-cell-kind propagation delay in picoseconds (input-to-output, FO4-ish
+  /// loading assumed; wire delay folded in).
+  std::array<double, kNumCellKinds> delay_ps;
+  /// Per-cell-kind switched capacitance in femtofarads (gate + local wire);
+  /// drives the dynamic-energy model (power/power.hpp).
+  std::array<double, kNumCellKinds> switch_cap_ff;
+
+  double vdd_v = 0.9;          ///< Supply voltage (PTM 32 nm HK).
+  double vth0_v = 0.30;        ///< Nominal |Vth| at time zero.
+  double alpha_power = 1.3;    ///< Alpha-power-law velocity-saturation index.
+  double temperature_k = 398.15;  ///< 125 C, the paper's stress temperature.
+
+  double delay(CellKind kind) const noexcept {
+    return delay_ps[static_cast<std::size_t>(kind)];
+  }
+  double cap(CellKind kind) const noexcept {
+    return switch_cap_ff[static_cast<std::size_t>(kind)];
+  }
+
+  /// Returns a copy with all delays multiplied by `factor` (calibration).
+  TechLibrary scaled(double factor) const;
+};
+
+/// The default (uncalibrated) 32 nm-class library.
+const TechLibrary& default_tech_library();
+
+/// Converts a threshold-voltage shift into a gate-delay multiplier using the
+/// alpha-power law:  d(t)/d(0) = ((Vdd - Vth0) / (Vdd - Vth0 - dVth))^alpha.
+/// This is how the BTI model's dVth(t) becomes per-gate delay degradation.
+double delay_scale_from_dvth(const TechLibrary& tech, double dvth_v);
+
+}  // namespace agingsim

@@ -1,0 +1,51 @@
+#include "src/power/power.hpp"
+
+#include <cmath>
+
+namespace agingsim {
+namespace {
+
+constexpr double kBoltzmannJPerK = 1.380649e-23;
+constexpr double kElectronChargeC = 1.602177e-19;
+
+}  // namespace
+
+PowerModel::PowerModel(const TechLibrary& tech, PowerParams params)
+    : tech_(&tech), params_(params) {}
+
+double PowerModel::dynamic_energy_fj(double switched_cap_ff) const noexcept {
+  // E = C * Vdd^2 (fF * V^2 = fJ). The usual 1/2 factor is folded into the
+  // per-cell switched-capacitance constants.
+  return switched_cap_ff * tech_->vdd_v * tech_->vdd_v;
+}
+
+double PowerModel::thermal_voltage_v() const noexcept {
+  return kBoltzmannJPerK * tech_->temperature_k / kElectronChargeC;
+}
+
+double PowerModel::leakage_power_nw(const Netlist& netlist,
+                                    double mean_dvth_v) const noexcept {
+  const double scale =
+      std::exp(-mean_dvth_v / (params_.subthreshold_n * thermal_voltage_v()));
+  return static_cast<double>(netlist.transistor_count()) *
+         params_.leak_per_transistor_nw * scale;
+}
+
+double PowerModel::dff_bank_energy_fj(int num_ffs,
+                                      int num_toggling) const noexcept {
+  return static_cast<double>(num_ffs) * params_.dff_energy_per_clock_fj +
+         static_cast<double>(num_toggling) * params_.dff_energy_per_toggle_fj;
+}
+
+double PowerModel::razor_bank_energy_fj(int num_ffs,
+                                        int num_toggling) const noexcept {
+  return params_.razor_energy_ratio *
+         dff_bank_energy_fj(num_ffs, num_toggling);
+}
+
+double energy_delay_product(double avg_power_mw,
+                            double avg_latency_ns) noexcept {
+  return avg_power_mw * avg_latency_ns * avg_latency_ns;
+}
+
+}  // namespace agingsim

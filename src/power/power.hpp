@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/techlib.hpp"
+
+namespace agingsim {
+
+/// Constants of the power model. Values are representative 32 nm-class
+/// numbers; the paper's power conclusions are all *relative* (AM largest,
+/// fixed-latency bypassing smallest, power falls as the circuit ages), and
+/// those orderings come from activity counts and Vth drift, not from the
+/// absolute constants.
+struct PowerParams {
+  /// Subthreshold leakage per transistor at Vth0 and 125 C.
+  double leak_per_transistor_nw = 1.5;
+  /// Subthreshold swing factor: leakage scales by exp(-dVth / (n * vT)).
+  double subthreshold_n = 1.5;
+  /// Energy a plain D flip-flop draws per clock edge (clock + internal).
+  double dff_energy_per_clock_fj = 1.1;
+  /// Additional energy per captured data toggle.
+  double dff_energy_per_toggle_fj = 0.9;
+  /// Razor flip-flop per-clock energy ratio vs a plain DFF (shadow latch,
+  /// delayed clock, XOR comparator — Razor paper reports ~1.5-2x).
+  double razor_energy_ratio = 1.8;
+};
+
+/// Power/energy model over the gate-level activity numbers produced by
+/// TimingSim plus the register-level activity produced by the system model
+/// in src/core/.
+class PowerModel {
+ public:
+  PowerModel(const TechLibrary& tech, PowerParams params = {});
+
+  /// Dynamic energy (fJ) of switching `switched_cap_ff` femtofarads.
+  double dynamic_energy_fj(double switched_cap_ff) const noexcept;
+
+  /// Static leakage power (nW) of a netlist whose devices have drifted by
+  /// `mean_dvth_v` on average. Higher Vth => exponentially less leakage;
+  /// this is why the paper's measured power *decreases* over the 7 years.
+  double leakage_power_nw(const Netlist& netlist,
+                          double mean_dvth_v) const noexcept;
+
+  /// Energy (fJ) of clocking `num_ffs` plain flip-flops once, of which
+  /// `num_toggling` capture a changed value.
+  double dff_bank_energy_fj(int num_ffs, int num_toggling) const noexcept;
+
+  /// Same for Razor flip-flops (the output register of the proposed design).
+  double razor_bank_energy_fj(int num_ffs, int num_toggling) const noexcept;
+
+  const PowerParams& params() const noexcept { return params_; }
+  const TechLibrary& tech() const noexcept { return *tech_; }
+
+  /// Thermal voltage (V) at the library temperature.
+  double thermal_voltage_v() const noexcept;
+
+ private:
+  const TechLibrary* tech_;
+  PowerParams params_;
+};
+
+/// Energy-delay product from average power and latency:
+/// EDP = (average energy per op) x (average latency) = P_avg * t^2.
+/// Units: mW * ns^2 (arbitrary but consistent; every figure normalizes).
+double energy_delay_product(double avg_power_mw, double avg_latency_ns) noexcept;
+
+}  // namespace agingsim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace agingsim {
+
+/// Simple aligned-text / CSV table emitter used by every bench binary to
+/// print the paper's tables and figure series.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Aligned monospace rendering with the title on top.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  // Formatting helpers shared by the benches.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double ratio, int precision = 2);  // 0.5 -> "50.00%"
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace agingsim

@@ -1,0 +1,69 @@
+#include "src/sim/sequential.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace agingsim {
+
+SequentialSim::SequentialSim(const Netlist& netlist, const TechLibrary& tech,
+                             std::vector<RegisterBinding> registers)
+    : netlist_(&netlist),
+      sim_(netlist, tech),
+      regs_(std::move(registers)),
+      pi_values_(netlist.num_inputs(), Logic::kZero) {
+  std::vector<bool> used(netlist.num_inputs(), false);
+  for (const RegisterBinding& r : regs_) {
+    if (r.d_net >= netlist.num_nets()) {
+      throw std::invalid_argument("SequentialSim: register D net invalid");
+    }
+    if (r.q_input < 0 ||
+        r.q_input >= static_cast<int>(netlist.num_inputs()) ||
+        used[static_cast<std::size_t>(r.q_input)]) {
+      throw std::invalid_argument(
+          "SequentialSim: register Q input invalid or bound twice");
+    }
+    if (r.enable_net != kInvalidNet && r.enable_net >= netlist.num_nets()) {
+      throw std::invalid_argument("SequentialSim: enable net invalid");
+    }
+    used[static_cast<std::size_t>(r.q_input)] = true;
+    q_.push_back(r.init);
+  }
+}
+
+void SequentialSim::set_input(int pi_index, Logic value) {
+  if (pi_index < 0 || pi_index >= static_cast<int>(pi_values_.size())) {
+    throw std::invalid_argument("SequentialSim::set_input: bad input index");
+  }
+  for (const RegisterBinding& r : regs_) {
+    if (r.q_input == pi_index) {
+      throw std::invalid_argument(
+          "SequentialSim::set_input: input is driven by a register");
+    }
+  }
+  pi_values_[static_cast<std::size_t>(pi_index)] = value;
+}
+
+StepResult SequentialSim::clock() {
+  // Drive register outputs, settle combinational logic.
+  for (std::size_t r = 0; r < regs_.size(); ++r) {
+    pi_values_[static_cast<std::size_t>(regs_[r].q_input)] = q_[r];
+  }
+  const StepResult result = sim_.step(pi_values_);
+  // Simultaneous clock edge: sample every enabled D.
+  std::vector<Logic> next = q_;
+  for (std::size_t r = 0; r < regs_.size(); ++r) {
+    const RegisterBinding& reg = regs_[r];
+    const Logic en = reg.enable_net == kInvalidNet
+                         ? Logic::kOne
+                         : sim_.value(reg.enable_net);
+    if (en == Logic::kOne) {
+      next[r] = sim_.value(reg.d_net);
+    } else if (en != Logic::kZero) {
+      next[r] = Logic::kX;  // unknown enable: pessimistic
+    }
+  }
+  q_ = std::move(next);
+  return result;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/techlib.hpp"
+#include "src/sim/timing_sim.hpp"
+
+namespace agingsim {
+
+/// Binds a D flip-flop around a combinational netlist: the register's Q
+/// drives primary input `q_input`, its D samples net `d_net` at each clock
+/// edge, optionally gated by an active-high clock-enable net (this is how
+/// the paper's !(gating) signal holds the input registers for the second
+/// cycle of a two-cycle pattern).
+struct RegisterBinding {
+  NetId d_net = kInvalidNet;
+  int q_input = -1;
+  NetId enable_net = kInvalidNet;  ///< kInvalidNet = always enabled
+  Logic init = Logic::kZero;
+};
+
+/// Cycle-accurate simulation of a registered circuit: each `clock()` call
+/// settles the combinational netlist with the current register outputs and
+/// external inputs, then updates every enabled register simultaneously.
+/// Built on TimingSim, so per-cycle settle times and switching activity are
+/// available too.
+///
+/// This layer exists to validate the behavioural architecture models in
+/// src/core/ against real gate-level control circuits (e.g. the Fig. 12
+/// AHL gating flip-flop) — see tests/sequential_test.cpp and
+/// tests/ahl_gate_level_test.cpp.
+class SequentialSim {
+ public:
+  SequentialSim(const Netlist& netlist, const TechLibrary& tech,
+                std::vector<RegisterBinding> registers);
+
+  /// Sets an external (non-register) primary input for upcoming cycles.
+  void set_input(int pi_index, Logic value);
+
+  /// One clock cycle; returns the combinational settle/activity result.
+  StepResult clock();
+
+  /// Value of any net after the last clock()'s settle phase.
+  Logic value(NetId net) const noexcept { return sim_.value(net); }
+  /// Current output of register `r` (as of the last clock edge).
+  Logic q(std::size_t r) const noexcept { return q_[r]; }
+
+  std::size_t num_registers() const noexcept { return regs_.size(); }
+
+ private:
+  const Netlist* netlist_;
+  TimingSim sim_;
+  std::vector<RegisterBinding> regs_;
+  std::vector<Logic> pi_values_;
+  std::vector<Logic> q_;
+};
+
+}  // namespace agingsim

@@ -1,0 +1,33 @@
+#include "src/sim/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agingsim {
+
+StaResult run_sta(const Netlist& netlist, const TechLibrary& tech,
+                  std::span<const double> gate_delay_scale) {
+  if (!gate_delay_scale.empty() &&
+      gate_delay_scale.size() != netlist.num_gates()) {
+    throw std::invalid_argument(
+        "run_sta: gate_delay_scale must have one entry per gate");
+  }
+  StaResult r;
+  r.arrival_ps.assign(netlist.num_nets(), 0.0);
+  for (GateId g = 0; g < netlist.num_gates(); ++g) {
+    const Gate& gate = netlist.gate(g);
+    double in_max = 0.0;
+    for (NetId in : netlist.gate_inputs(g)) {
+      in_max = std::max(in_max, r.arrival_ps[in]);
+    }
+    double d = tech.delay(gate.kind);
+    if (!gate_delay_scale.empty()) d *= gate_delay_scale[g];
+    r.arrival_ps[gate.out] = in_max + d;
+  }
+  for (NetId out : netlist.output_nets()) {
+    r.critical_path_ps = std::max(r.critical_path_ps, r.arrival_ps[out]);
+  }
+  return r;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/techlib.hpp"
+
+namespace agingsim {
+
+/// Result of a static timing analysis pass.
+struct StaResult {
+  /// Worst-case arrival time (ps) of every net, inputs at t = 0.
+  std::vector<double> arrival_ps;
+  /// Max arrival over the primary outputs: the critical-path delay. This is
+  /// the cycle period a fixed-latency design must use (paper Section II-C).
+  double critical_path_ps = 0.0;
+};
+
+/// Value-independent worst-case timing: every gate's output arrival is
+/// max(input arrivals) + gate delay. Tri-state buffers are treated as always
+/// enabled (worst case). `gate_delay_scale`, if non-empty, gives a per-gate
+/// delay multiplier (the aging overlay produced by src/aging/); it must have
+/// one entry per gate.
+StaResult run_sta(const Netlist& netlist, const TechLibrary& tech,
+                  std::span<const double> gate_delay_scale = {});
+
+}  // namespace agingsim

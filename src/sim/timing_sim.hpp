@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/netlist/logic.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/techlib.hpp"
+
+namespace agingsim {
+
+/// Outcome of applying one input pattern.
+struct StepResult {
+  /// Time (ps) at which the last *primary output* settles, i.e. the path
+  /// delay of this operation. 0 if no output changed. This is the quantity
+  /// the Razor flip-flops compare against the cycle period.
+  double output_settle_ps = 0.0;
+  /// Time (ps) at which the last net anywhere settles (>= output_settle_ps).
+  double settle_ps = 0.0;
+  /// Number of gate outputs that settled to a new value (0<->1).
+  std::uint64_t toggles = 0;
+  /// Effective switched capacitance (fF) of this transition, including the
+  /// glitch estimate — drives the dynamic-energy model. Computed by
+  /// transition-density propagation (Najm-style): every changed primary
+  /// input seeds one transition, each gate passes its inputs' densities
+  /// weighted by how often the other inputs let edges through, and XOR
+  /// trees sum densities. This is what makes deep carry-save arrays (the
+  /// plain AM) expensive and frozen bypassed columns free, reproducing the
+  /// paper's power ordering (AM > VL-bypassing > FL-bypassing).
+  double switched_cap_ff = 0.0;
+};
+
+/// Per-pattern functional + timing simulator.
+///
+/// This is the substitute for the paper's Nanosim transistor-level timing
+/// runs. Each `step()` applies a new input pattern (a transition from the
+/// previously applied one) and performs a single topological pass computing,
+/// for every gate, the new output value and its *sensitized* arrival time:
+///
+///  - a net whose value does not change is stable and contributes neither
+///    delay nor switching energy (transition pruning, zero-delay/glitch-free
+///    activity model);
+///  - when a gate's output settles to a value fixed by a controlling input
+///    (0 on an AND, 1 on an OR, ...), the arrival is the *earliest*
+///    controlling input, not the latest input — this short-circuit is what
+///    makes bypassed columns/rows fast and is the physical mechanism behind
+///    the paper's Figs. 5-6 delay distributions;
+///  - disabled tri-state buffers hold their previous value (bus keeper), so
+///    a bypassed full adder neither toggles nor delays anything.
+class TimingSim {
+ public:
+  /// `gate_delay_scale`, if non-empty, is a per-gate delay multiplier (aging
+  /// overlay); it is copied and can be replaced later with `set_aging()`.
+  TimingSim(const Netlist& netlist, const TechLibrary& tech,
+            std::span<const double> gate_delay_scale = {});
+
+  /// Replaces the per-gate aging multipliers (empty = fresh circuit).
+  void set_aging(std::span<const double> gate_delay_scale);
+
+  /// Applies `input_values` (one per primary input, in input order) and
+  /// settles the netlist. The first call establishes the power-up state (all
+  /// nets transition from X); its timing numbers are still well defined.
+  StepResult step(std::span<const Logic> input_values);
+
+  /// Applies an unsigned pattern to an input bus laid out LSB-first starting
+  /// at primary-input index `first_input`.
+  void load_bus(std::span<Logic> pattern_buffer, std::uint64_t value,
+                int width, int first_input) const;
+
+  Logic value(NetId net) const noexcept { return value_[net]; }
+  double arrival(NetId net) const noexcept { return arrival_[net]; }
+
+  /// Packs the primary outputs LSB-first into an integer. Throws
+  /// std::logic_error if any output is X/Z or there are more than 64 outputs.
+  std::uint64_t output_bits() const;
+
+  const Netlist& netlist() const noexcept { return *netlist_; }
+
+ private:
+  const Netlist* netlist_;
+  const TechLibrary* tech_;
+  std::vector<double> base_delay_ps_;  // per gate, aging folded in
+  std::vector<double> cell_cap_ff_;    // per gate
+  std::vector<Logic> value_;           // per net
+  std::vector<double> arrival_;        // per net, valid when changed_
+  std::vector<std::uint8_t> changed_;  // per net, this step
+  std::vector<float> density_;         // per net: transition-density estimate
+};
+
+}  // namespace agingsim

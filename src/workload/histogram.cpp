@@ -1,0 +1,81 @@
+#include "src/workload/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace agingsim {
+
+Histogram::Histogram(double lo, double hi, int num_bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo) || num_bins < 1) {
+    throw std::invalid_argument("Histogram: need hi > lo and num_bins >= 1");
+  }
+  counts_.assign(static_cast<std::size_t>(num_bins), 0);
+}
+
+void Histogram::add(double sample) noexcept {
+  const int n = num_bins();
+  int bin = static_cast<int>((sample - lo_) / (hi_ - lo_) *
+                             static_cast<double>(n));
+  bin = std::clamp(bin, 0, n - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  if (total_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++total_;
+  sum_ += sample;
+}
+
+double Histogram::bin_lo(int bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(num_bins());
+}
+
+double Histogram::fraction_below(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (int b = 0; b < num_bins(); ++b) {
+    if (bin_hi(b) <= x) {
+      below += count(b);
+    } else if (bin_lo(b) < x) {
+      // Linear interpolation inside the straddling bin.
+      const double frac = (x - bin_lo(b)) / (bin_hi(b) - bin_lo(b));
+      below += static_cast<std::uint64_t>(frac * static_cast<double>(count(b)));
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return lo_;
+  const double target = p * static_cast<double>(total_);
+  double cum = 0.0;
+  for (int b = 0; b < num_bins(); ++b) {
+    cum += static_cast<double>(count(b));
+    if (cum >= target) return bin_hi(b);
+  }
+  return hi_;
+}
+
+std::string Histogram::render(int bar_width) const {
+  std::uint64_t peak = 1;
+  for (int b = 0; b < num_bins(); ++b) peak = std::max(peak, count(b));
+  std::string out;
+  char line[160];
+  for (int b = 0; b < num_bins(); ++b) {
+    const int bar = static_cast<int>(
+        static_cast<double>(count(b)) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %8llu |", bin_lo(b),
+                  bin_hi(b), static_cast<unsigned long long>(count(b)));
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace agingsim

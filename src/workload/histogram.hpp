@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agingsim {
+
+/// Fixed-bin histogram used to regenerate the paper's delay-distribution
+/// figures (Figs. 5, 6, 9, 10).
+class Histogram {
+ public:
+  /// Bins span [lo, hi) uniformly; samples outside are clamped into the
+  /// first/last bin so totals are preserved.
+  Histogram(double lo, double hi, int num_bins);
+
+  void add(double sample) noexcept;
+
+  int num_bins() const noexcept { return static_cast<int>(counts_.size()); }
+  std::uint64_t count(int bin) const noexcept {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_lo(int bin) const noexcept;
+  double bin_hi(int bin) const noexcept { return bin_lo(bin + 1); }
+
+  /// Fraction of samples strictly below `x` (bin-resolution accurate).
+  double fraction_below(double x) const noexcept;
+
+  /// Smallest value v such that at least `p` (0..1] of samples are <= v,
+  /// reported at bin-upper-edge resolution.
+  double percentile(double p) const noexcept;
+
+  double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double min_sample() const noexcept { return min_; }
+  double max_sample() const noexcept { return max_; }
+
+  /// Multi-line ASCII rendering: one row per bin with count and a bar.
+  std::string render(int bar_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+}  // namespace agingsim

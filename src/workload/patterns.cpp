@@ -1,0 +1,75 @@
+#include "src/workload/patterns.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace agingsim {
+
+int count_zeros(std::uint64_t v, int width) noexcept {
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return width - std::popcount(v & mask);
+}
+
+std::vector<OperandPattern> uniform_patterns(Rng& rng, int width,
+                                             std::size_t count) {
+  std::vector<OperandPattern> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({rng.next_bits(width), rng.next_bits(width)});
+  }
+  return out;
+}
+
+std::uint64_t operand_with_zero_count(Rng& rng, int width, int zeros) {
+  if (zeros < 0 || zeros > width) {
+    throw std::invalid_argument("operand_with_zero_count: bad zero count");
+  }
+  // Start from all ones and knock out `zeros` distinct positions
+  // (partial Fisher-Yates over bit indices).
+  std::uint64_t v = width >= 64 ? ~std::uint64_t{0}
+                                : ((std::uint64_t{1} << width) - 1);
+  int positions[64];
+  for (int i = 0; i < width; ++i) positions[i] = i;
+  for (int k = 0; k < zeros; ++k) {
+    const int pick =
+        k + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(width - k)));
+    std::swap(positions[k], positions[pick]);
+    v &= ~(std::uint64_t{1} << positions[k]);
+  }
+  return v;
+}
+
+std::vector<OperandPattern> patterns_with_multiplicand_zeros(
+    Rng& rng, int width, int zeros, std::size_t count) {
+  std::vector<OperandPattern> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(
+        {operand_with_zero_count(rng, width, zeros), rng.next_bits(width)});
+  }
+  return out;
+}
+
+std::vector<OperandPattern> dsp_patterns(Rng& rng, int width,
+                                         std::size_t count) {
+  std::vector<OperandPattern> out;
+  out.reserve(count);
+  const std::uint64_t mask = (width >= 64)
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << width) - 1);
+  // Random-walk signal confined to the low half of the range; coefficients
+  // cycle through a small fixed bank, as a FIR kernel would.
+  std::uint64_t signal = rng.next_bits(width / 2);
+  std::uint64_t coeffs[8];
+  for (auto& c : coeffs) c = rng.next_bits(width);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t step = rng.next_below(1 + (mask >> (width / 2)));
+    signal = (rng.next() & 1) ? (signal + step) & (mask >> (width / 2))
+                              : (signal - step) & (mask >> (width / 2));
+    out.push_back({signal, coeffs[i % 8]});
+  }
+  return out;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+
+/// One multiplier operation: a = multiplicand, b = multiplicator.
+struct OperandPattern {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Number of zero bits in the low `width` bits of `v` — the quantity the
+/// AHL judging blocks count (paper Section III).
+int count_zeros(std::uint64_t v, int width) noexcept;
+
+/// `count` i.i.d. uniform operand pairs of the given width (the paper's
+/// "randomly chosen input patterns").
+std::vector<OperandPattern> uniform_patterns(Rng& rng, int width,
+                                             std::size_t count);
+
+/// A uniform random `width`-bit operand with exactly `zeros` zero bits
+/// (used by the paper's Fig. 6: delay distribution under a fixed number of
+/// zeros in the multiplicand).
+std::uint64_t operand_with_zero_count(Rng& rng, int width, int zeros);
+
+/// `count` pairs whose multiplicand has exactly `zeros` zero bits; the
+/// multiplicator is uniform.
+std::vector<OperandPattern> patterns_with_multiplicand_zeros(
+    Rng& rng, int width, int zeros, std::size_t count);
+
+/// A correlated, DSP-flavoured stream: a random-walk "signal" multiplied by
+/// slowly rotating "coefficients". Exercises the examples with a workload
+/// whose operands are not i.i.d. uniform (small signal magnitudes mean many
+/// leading zeros, which is exactly where bypassing multipliers shine).
+std::vector<OperandPattern> dsp_patterns(Rng& rng, int width,
+                                         std::size_t count);
+
+}  // namespace agingsim

@@ -1,0 +1,93 @@
+#include "src/core/aging_indicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+AgingIndicatorConfig cfg(int window, double thresh, bool sticky = true) {
+  AgingIndicatorConfig c;
+  c.window_ops = window;
+  c.error_threshold = thresh;
+  c.sticky = sticky;
+  return c;
+}
+
+TEST(AgingIndicatorTest, StartsHealthy) {
+  AgingIndicator ind(cfg(100, 0.10));
+  EXPECT_FALSE(ind.aged());
+  EXPECT_EQ(ind.windows_completed(), 0u);
+}
+
+TEST(AgingIndicatorTest, TripsAtPaperThreshold) {
+  // 10% of 100 ops => the 10th error trips the indicator.
+  AgingIndicator ind(cfg(100, 0.10));
+  for (int i = 0; i < 9; ++i) ind.record(true);
+  EXPECT_FALSE(ind.aged());
+  ind.record(true);
+  EXPECT_TRUE(ind.aged());
+  EXPECT_EQ(ind.trips(), 1u);
+}
+
+TEST(AgingIndicatorTest, ErrorsBelowThresholdNeverTrip) {
+  AgingIndicator ind(cfg(100, 0.10));
+  // 9 errors per 100 ops forever: never trips.
+  for (int w = 0; w < 20; ++w) {
+    for (int i = 0; i < 100; ++i) ind.record(i < 9);
+    EXPECT_FALSE(ind.aged()) << "window " << w;
+  }
+  EXPECT_EQ(ind.windows_completed(), 20u);
+}
+
+TEST(AgingIndicatorTest, WindowResetClearsCount) {
+  AgingIndicator ind(cfg(10, 0.50));
+  // 4 errors then 6 clean ops: window closes below threshold (5).
+  for (int i = 0; i < 4; ++i) ind.record(true);
+  for (int i = 0; i < 6; ++i) ind.record(false);
+  EXPECT_FALSE(ind.aged());
+  // 4 more errors in the next window still do not trip.
+  for (int i = 0; i < 4; ++i) ind.record(true);
+  EXPECT_FALSE(ind.aged());
+  ind.record(true);  // 5th error in this window
+  EXPECT_TRUE(ind.aged());
+}
+
+TEST(AgingIndicatorTest, StickyStaysTripped) {
+  AgingIndicator ind(cfg(10, 0.10, /*sticky=*/true));
+  ind.record(true);
+  EXPECT_TRUE(ind.aged());
+  for (int i = 0; i < 50; ++i) ind.record(false);
+  EXPECT_TRUE(ind.aged());
+}
+
+TEST(AgingIndicatorTest, NonStickyRecoversAfterCleanWindow) {
+  AgingIndicator ind(cfg(10, 0.10, /*sticky=*/false));
+  ind.record(true);
+  EXPECT_TRUE(ind.aged());
+  for (int i = 0; i < 9; ++i) ind.record(false);  // window closes: 1 error >= 1 => still aged
+  EXPECT_TRUE(ind.aged());
+  for (int i = 0; i < 10; ++i) ind.record(false);  // clean window
+  EXPECT_FALSE(ind.aged());
+}
+
+TEST(AgingIndicatorTest, ResetRestoresInitialState) {
+  AgingIndicator ind(cfg(10, 0.10));
+  ind.record(true);
+  EXPECT_TRUE(ind.aged());
+  ind.reset();
+  EXPECT_FALSE(ind.aged());
+  EXPECT_EQ(ind.trips(), 0u);
+  EXPECT_EQ(ind.windows_completed(), 0u);
+}
+
+TEST(AgingIndicatorTest, ConfigValidation) {
+  EXPECT_THROW(AgingIndicator(cfg(0, 0.1)), std::invalid_argument);
+  EXPECT_THROW(AgingIndicator(cfg(10, 0.0)), std::invalid_argument);
+  EXPECT_THROW(AgingIndicator(cfg(10, 1.5)), std::invalid_argument);
+  EXPECT_NO_THROW(AgingIndicator(cfg(10, 1.0)));
+}
+
+}  // namespace
+}  // namespace agingsim

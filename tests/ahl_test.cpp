@@ -1,0 +1,78 @@
+#include "src/core/ahl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agingsim {
+namespace {
+
+AhlConfig make_config(int width, int skip, bool adaptive) {
+  AhlConfig c;
+  c.width = width;
+  c.skip = skip;
+  c.adaptive = adaptive;
+  c.indicator.window_ops = 100;
+  c.indicator.error_threshold = 0.10;
+  return c;
+}
+
+TEST(AhlTest, FirstBlockDecidesBeforeAging) {
+  AdaptiveHoldLogic ahl(make_config(16, 8, true));
+  EXPECT_FALSE(ahl.using_second_block());
+  EXPECT_EQ(ahl.decide_cycles(0x00FF), 1);  // 8 zeros >= 8
+  EXPECT_EQ(ahl.decide_cycles(0x01FF), 2);  // 7 zeros < 8
+}
+
+TEST(AhlTest, SwitchesToSecondBlockAfterErrorBurst) {
+  AdaptiveHoldLogic ahl(make_config(16, 8, true));
+  // An operand with exactly 8 zeros: one cycle under Skip-8, two cycles
+  // under Skip-9.
+  const std::uint64_t boundary = 0x00FF;
+  EXPECT_EQ(ahl.decide_cycles(boundary), 1);
+  for (int i = 0; i < 10; ++i) ahl.record_outcome(true);
+  EXPECT_TRUE(ahl.using_second_block());
+  EXPECT_EQ(ahl.decide_cycles(boundary), 2);
+  // Patterns with 9+ zeros stay one-cycle.
+  EXPECT_EQ(ahl.decide_cycles(0x007F), 1);
+}
+
+TEST(AhlTest, TraditionalDesignNeverAdapts) {
+  AdaptiveHoldLogic tvl(make_config(16, 8, false));
+  for (int i = 0; i < 1000; ++i) tvl.record_outcome(true);
+  EXPECT_FALSE(tvl.using_second_block());
+  EXPECT_EQ(tvl.decide_cycles(0x00FF), 1);
+}
+
+TEST(AhlTest, SparseErrorsDoNotSwitch) {
+  AdaptiveHoldLogic ahl(make_config(16, 8, true));
+  // 5% error rate: below the 10% threshold.
+  for (int i = 0; i < 2000; ++i) ahl.record_outcome(i % 20 == 0);
+  EXPECT_FALSE(ahl.using_second_block());
+}
+
+TEST(AhlTest, SecondBlockReducesOneCycleFraction) {
+  // Property over the whole operand space: the second judging block's
+  // one-cycle set is a strict subset of the first block's.
+  AdaptiveHoldLogic fresh(make_config(8, 4, true));
+  AdaptiveHoldLogic aged(make_config(8, 4, true));
+  for (int i = 0; i < 10; ++i) aged.record_outcome(true);
+  ASSERT_TRUE(aged.using_second_block());
+  int fresh_ones = 0, aged_ones = 0;
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    const bool f1 = fresh.decide_cycles(v) == 1;
+    const bool a1 = aged.decide_cycles(v) == 1;
+    fresh_ones += f1;
+    aged_ones += a1;
+    // Never one-cycle under aged judging but two-cycle under fresh.
+    EXPECT_FALSE(a1 && !f1) << v;
+  }
+  EXPECT_LT(aged_ones, fresh_ones);
+}
+
+TEST(AhlTest, ConfigIsExposed) {
+  AdaptiveHoldLogic ahl(make_config(16, 7, true));
+  EXPECT_EQ(ahl.config().skip, 7);
+  EXPECT_EQ(ahl.indicator().trips(), 0u);
+}
+
+}  // namespace
+}  // namespace agingsim

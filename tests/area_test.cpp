@@ -1,0 +1,62 @@
+#include "src/core/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(AreaTest, VariableLatencyCostsMoreThanFixed) {
+  for (int width : {16, 32}) {
+    for (auto arch :
+         {MultiplierArch::kColumnBypass, MultiplierArch::kRowBypass}) {
+      const MultiplierNetlist m = build_multiplier(arch, width);
+      const AreaBreakdown fl = fixed_latency_area(m);
+      const AreaBreakdown vl = variable_latency_area(m);
+      EXPECT_EQ(fl.combinational, vl.combinational);
+      EXPECT_EQ(fl.input_registers, vl.input_registers);
+      EXPECT_GT(vl.output_registers, fl.output_registers);  // Razor FFs
+      EXPECT_GT(vl.ahl, 0);
+      EXPECT_EQ(fl.ahl, 0);
+      EXPECT_GT(vl.total(), fl.total());
+    }
+  }
+}
+
+TEST(AreaTest, OverheadRatioShrinksWithWidth) {
+  // Paper Fig. 25: AHL + Razor are a smaller fraction of a larger
+  // multiplier (16x16 overhead ratio > 32x32 overhead ratio).
+  const auto cb16 = build_column_bypass_multiplier(16);
+  const auto cb32 = build_column_bypass_multiplier(32);
+  const double r16 =
+      static_cast<double>(variable_latency_area(cb16).total()) /
+      static_cast<double>(fixed_latency_area(cb16).total());
+  const double r32 =
+      static_cast<double>(variable_latency_area(cb32).total()) /
+      static_cast<double>(fixed_latency_area(cb32).total());
+  EXPECT_GT(r16, r32);
+  EXPECT_GT(r16, 1.0);
+}
+
+TEST(AreaTest, RowBypassIsLargerThanColumnBypass) {
+  const auto cb = build_column_bypass_multiplier(16);
+  const auto rb = build_row_bypass_multiplier(16);
+  EXPECT_GT(variable_latency_area(rb).total(),
+            variable_latency_area(cb).total());
+}
+
+TEST(AreaTest, AhlCountScalesWithWidth) {
+  EXPECT_GT(ahl_transistor_count(32), ahl_transistor_count(16));
+  EXPECT_THROW(ahl_transistor_count(1), std::invalid_argument);
+}
+
+TEST(AreaTest, RegisterCounts) {
+  const auto m = build_column_bypass_multiplier(16);
+  const AreaBreakdown vl = variable_latency_area(m);
+  EXPECT_EQ(vl.input_registers, 32LL * kDffTransistors);
+  EXPECT_EQ(vl.output_registers, 32LL * kRazorFfTransistors);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,67 @@
+#include "src/aging/bti.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(BtiTest, YearsToSeconds) {
+  EXPECT_NEAR(years_to_seconds(1.0), 3.156e7, 1e5);
+  EXPECT_DOUBLE_EQ(years_to_seconds(0.0), 0.0);
+}
+
+TEST(BtiTest, PhysicalKdcIsPositiveAndFieldSensitive) {
+  PhysicalBtiParams p;
+  const double k = kdc_from_physical(p);
+  EXPECT_GT(k, 0.0);
+  // Thinner oxide -> higher field -> more degradation.
+  PhysicalBtiParams thin = p;
+  thin.tox_nm = 1.0;
+  EXPECT_GT(kdc_from_physical(thin) / thin.tox_nm, k / p.tox_nm);
+  // Hotter -> more degradation.
+  PhysicalBtiParams hot = p;
+  hot.temperature_k = 423.15;
+  EXPECT_GT(kdc_from_physical(hot), k);
+  PhysicalBtiParams bad = p;
+  bad.vth_v = bad.vgs_v;
+  EXPECT_THROW(kdc_from_physical(bad), std::invalid_argument);
+}
+
+TEST(BtiTest, CalibratedModelHitsTargetAtReferencePoint) {
+  const TechLibrary& tech = default_tech_library();
+  const BtiModel m = BtiModel::calibrated(tech, 1.13, 7.0, 0.5);
+  const double dv = m.delta_vth(0.5, years_to_seconds(7.0));
+  EXPECT_NEAR(delay_scale_from_dvth(tech, dv), 1.13, 1e-9);
+}
+
+TEST(BtiTest, DeltaVthMonotoneInTimeAndStress) {
+  const BtiModel m = BtiModel::calibrated(default_tech_library());
+  const double t1 = years_to_seconds(1.0), t7 = years_to_seconds(7.0);
+  EXPECT_GT(m.delta_vth(0.5, t7), m.delta_vth(0.5, t1));
+  EXPECT_GT(m.delta_vth(0.9, t1), m.delta_vth(0.1, t1));
+  EXPECT_DOUBLE_EQ(m.delta_vth(0.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.delta_vth(0.0, t7), 0.0);
+}
+
+TEST(BtiTest, FractionalPowerLawShape) {
+  // t^(1/6): doubling time scales dVth by 2^(1/6).
+  const BtiModel m = BtiModel::calibrated(default_tech_library());
+  const double t = years_to_seconds(2.0);
+  EXPECT_NEAR(m.delta_vth(0.5, 2.0 * t) / m.delta_vth(0.5, t),
+              std::pow(2.0, 1.0 / 6.0), 1e-9);
+}
+
+TEST(BtiTest, RejectsBadArguments) {
+  const BtiModel m = BtiModel::calibrated(default_tech_library());
+  EXPECT_THROW(m.delta_vth(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.delta_vth(1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.delta_vth(0.5, -1.0), std::invalid_argument);
+  EXPECT_THROW(BtiModel::calibrated(default_tech_library(), 0.9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

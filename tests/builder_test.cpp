@@ -1,0 +1,123 @@
+#include "src/netlist/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/netlist/techlib.hpp"
+#include "src/sim/timing_sim.hpp"
+
+namespace agingsim {
+namespace {
+
+// Helper: evaluate a 2-output builder-made adder over all input combos by
+// simulation.
+struct AdderHarness {
+  NetlistBuilder nb;
+  std::vector<NetId> ins;
+  AdderBits out{kInvalidNet, kInvalidNet};
+
+  void finish() {
+    nb.netlist().mark_output(out.sum, "sum");
+    nb.netlist().mark_output(out.carry, "carry");
+    nb.netlist().validate();
+  }
+
+  std::pair<bool, bool> eval(std::uint64_t bits) {
+    TimingSim sim(nb.netlist(), default_tech_library());
+    std::vector<Logic> pattern(nb.netlist().num_inputs());
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      pattern[i] = logic_from_bool((bits >> i) & 1);
+    }
+    sim.step(pattern);
+    const std::uint64_t o = sim.output_bits();
+    return {(o & 1) != 0, (o & 2) != 0};
+  }
+};
+
+TEST(BuilderTest, ConstantsAreCached) {
+  NetlistBuilder nb;
+  EXPECT_EQ(nb.zero(), nb.zero());
+  EXPECT_EQ(nb.one(), nb.one());
+  EXPECT_NE(nb.zero(), nb.one());
+  EXPECT_TRUE(nb.is_zero(nb.zero()));
+  EXPECT_TRUE(nb.is_one(nb.one()));
+  EXPECT_FALSE(nb.is_zero(nb.one()));
+}
+
+TEST(BuilderTest, AndOrXorConstantFolding) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  nb.zero();  // materialize the tie cells before counting gates
+  nb.one();
+  const std::size_t before = nb.netlist().num_gates();
+  EXPECT_EQ(nb.and2(a, nb.zero()), nb.zero());
+  EXPECT_EQ(nb.and2(nb.one(), a), a);
+  EXPECT_EQ(nb.or2(a, nb.one()), nb.one());
+  EXPECT_EQ(nb.or2(nb.zero(), a), a);
+  EXPECT_EQ(nb.xor2(a, nb.zero()), a);
+  // None of the folds above may create gates.
+  EXPECT_EQ(nb.netlist().num_gates(), before);
+  // xor with one creates exactly one inverter.
+  const NetId na = nb.xor2(a, nb.one());
+  EXPECT_EQ(nb.netlist().num_gates(), before + 1);
+  EXPECT_EQ(nb.netlist()
+                .gate(static_cast<GateId>(nb.netlist().driver_of(na)))
+                .kind,
+            CellKind::kInv);
+}
+
+TEST(BuilderTest, FullAdderTruthTable) {
+  AdderHarness h;
+  h.ins = {h.nb.input("a"), h.nb.input("b"), h.nb.input("c")};
+  h.out = h.nb.full_adder(h.ins[0], h.ins[1], h.ins[2]);
+  h.finish();
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    const int total = static_cast<int>((bits & 1) + ((bits >> 1) & 1) +
+                                       ((bits >> 2) & 1));
+    const auto [sum, carry] = h.eval(bits);
+    EXPECT_EQ(sum, (total & 1) != 0) << bits;
+    EXPECT_EQ(carry, total >= 2) << bits;
+  }
+}
+
+TEST(BuilderTest, HalfAdderTruthTable) {
+  AdderHarness h;
+  h.ins = {h.nb.input("a"), h.nb.input("b")};
+  h.out = h.nb.half_adder(h.ins[0], h.ins[1]);
+  h.finish();
+  for (std::uint64_t bits = 0; bits < 4; ++bits) {
+    const int total = static_cast<int>((bits & 1) + ((bits >> 1) & 1));
+    const auto [sum, carry] = h.eval(bits);
+    EXPECT_EQ(sum, (total & 1) != 0) << bits;
+    EXPECT_EQ(carry, total >= 2) << bits;
+  }
+}
+
+TEST(BuilderTest, FullAdderDegeneratesWithZeroPins) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId b = nb.input("b");
+  nb.zero();  // materialize the tie cell before counting gates
+  // One zero pin -> half adder (2 gates: XOR + AND).
+  const std::size_t g0 = nb.netlist().num_gates();
+  nb.full_adder(a, b, nb.zero());
+  EXPECT_EQ(nb.netlist().num_gates(), g0 + 2);
+  // Two zero pins -> plain wire, no gates.
+  const std::size_t g1 = nb.netlist().num_gates();
+  const AdderBits wire = nb.full_adder(a, nb.zero(), nb.zero());
+  EXPECT_EQ(nb.netlist().num_gates(), g1);
+  EXPECT_EQ(wire.sum, a);
+  EXPECT_TRUE(nb.is_zero(wire.carry));
+}
+
+TEST(BuilderTest, BusHelpers) {
+  NetlistBuilder nb;
+  const auto bus = nb.input_bus("x", 4);
+  ASSERT_EQ(bus.size(), 4u);
+  EXPECT_EQ(nb.netlist().input_name(2), "x[2]");
+  nb.output_bus("y", bus);
+  EXPECT_EQ(nb.netlist().num_outputs(), 4u);
+  EXPECT_EQ(nb.netlist().output_name(3), "y[3]");
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,40 @@
+#include "src/core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/multiplier/multiplier.hpp"
+#include "src/sim/sta.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(CalibrationTest, Cb16CriticalPathHitsTarget) {
+  const TechLibrary tech = calibrated_tech_library(1880.0);
+  const auto cb16 = build_column_bypass_multiplier(16);
+  EXPECT_NEAR(run_sta(cb16.netlist, tech).critical_path_ps, 1880.0, 1e-6);
+}
+
+TEST(CalibrationTest, ScaleIsConsistent) {
+  const double s = calibration_scale(1880.0);
+  EXPECT_GT(s, 0.0);
+  EXPECT_NEAR(calibration_scale(3760.0), 2.0 * s, 1e-9);
+}
+
+TEST(CalibrationTest, ArchitectureOrderingSurvivesCalibration) {
+  const TechLibrary tech = calibrated_tech_library();
+  const double am =
+      run_sta(build_array_multiplier(16).netlist, tech).critical_path_ps;
+  const double cb = run_sta(build_column_bypass_multiplier(16).netlist, tech)
+                        .critical_path_ps;
+  EXPECT_LT(am, cb);  // the AM is the fastest fixed design, as in Fig. 5
+}
+
+TEST(CalibrationTest, RejectsBadTarget) {
+  EXPECT_THROW(calibrated_tech_library(0.0), std::invalid_argument);
+  EXPECT_THROW(calibration_scale(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

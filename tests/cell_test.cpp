@@ -1,0 +1,95 @@
+#include "src/netlist/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace agingsim {
+namespace {
+
+Logic ev(CellKind kind, std::initializer_list<Logic> ins,
+         Logic prev = Logic::kX) {
+  std::vector<Logic> v(ins);
+  return eval_cell(kind, v, prev);
+}
+
+constexpr Logic k0 = Logic::kZero;
+constexpr Logic k1 = Logic::kOne;
+constexpr Logic kX = Logic::kX;
+constexpr Logic kZ = Logic::kZ;
+
+TEST(CellTest, TraitsAreConsistent) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const CellTraits& t = cell_traits(static_cast<CellKind>(k));
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(t.num_inputs, 0);
+    EXPECT_LE(t.num_inputs, 3);
+    EXPECT_GT(t.transistor_count, 0);
+  }
+  EXPECT_EQ(cell_traits(CellKind::kMux2).num_inputs, 3);
+  EXPECT_EQ(cell_traits(CellKind::kTie0).num_inputs, 0);
+}
+
+TEST(CellTest, BasicGatesTruthTables) {
+  EXPECT_EQ(ev(CellKind::kBuf, {k1}), k1);
+  EXPECT_EQ(ev(CellKind::kInv, {k1}), k0);
+  EXPECT_EQ(ev(CellKind::kAnd2, {k1, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kAnd2, {k1, k0}), k0);
+  EXPECT_EQ(ev(CellKind::kNand2, {k1, k1}), k0);
+  EXPECT_EQ(ev(CellKind::kNand2, {k0, kX}), k1);
+  EXPECT_EQ(ev(CellKind::kOr2, {k0, k0}), k0);
+  EXPECT_EQ(ev(CellKind::kOr2, {k0, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kNor2, {k0, k0}), k1);
+  EXPECT_EQ(ev(CellKind::kXor2, {k1, k0}), k1);
+  EXPECT_EQ(ev(CellKind::kXor2, {k1, k1}), k0);
+  EXPECT_EQ(ev(CellKind::kXnor2, {k1, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kAnd3, {k1, k1, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kAnd3, {k1, k0, kX}), k0);
+  EXPECT_EQ(ev(CellKind::kOr3, {k0, k0, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kTie0, {}), k0);
+  EXPECT_EQ(ev(CellKind::kTie1, {}), k1);
+}
+
+TEST(CellTest, MuxSelectsAndHandlesUnknownSelect) {
+  // in = {d0, d1, sel}
+  EXPECT_EQ(ev(CellKind::kMux2, {k0, k1, k0}), k0);
+  EXPECT_EQ(ev(CellKind::kMux2, {k0, k1, k1}), k1);
+  // Unknown select but agreeing data: output is known.
+  EXPECT_EQ(ev(CellKind::kMux2, {k1, k1, kX}), k1);
+  EXPECT_EQ(ev(CellKind::kMux2, {k0, k1, kX}), kX);
+}
+
+TEST(CellTest, TbufDrivesWhenEnabled) {
+  EXPECT_EQ(ev(CellKind::kTbuf, {k1, k1}), k1);
+  EXPECT_EQ(ev(CellKind::kTbuf, {k0, k1}), k0);
+  EXPECT_EQ(ev(CellKind::kTbuf, {kX, k1}), kX);
+}
+
+TEST(CellTest, TbufKeepsPreviousValueWhenDisabled) {
+  EXPECT_EQ(ev(CellKind::kTbuf, {k1, k0}, /*prev=*/k0), k0);
+  EXPECT_EQ(ev(CellKind::kTbuf, {k0, k0}, /*prev=*/k1), k1);
+  // Never driven: stays floating.
+  EXPECT_EQ(ev(CellKind::kTbuf, {k1, k0}, /*prev=*/kZ), kZ);
+  // Unknown enable: pessimistic X.
+  EXPECT_EQ(ev(CellKind::kTbuf, {k1, kX}, /*prev=*/k0), kX);
+}
+
+// Property: for every 2-input symmetric gate, evaluation is symmetric.
+TEST(CellTest, TwoInputGatesAreSymmetric) {
+  const Logic vals[] = {k0, k1, kX, kZ};
+  const CellKind kinds[] = {CellKind::kAnd2, CellKind::kNand2, CellKind::kOr2,
+                            CellKind::kNor2, CellKind::kXor2,
+                            CellKind::kXnor2};
+  for (CellKind kind : kinds) {
+    for (Logic a : vals) {
+      for (Logic b : vals) {
+        EXPECT_EQ(ev(kind, {a, b}), ev(kind, {b, a}))
+            << cell_traits(kind).name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

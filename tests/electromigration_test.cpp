@@ -1,0 +1,50 @@
+#include "src/aging/electromigration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(ElectromigrationTest, DefaultCornerGivesTenYearMttf) {
+  ElectromigrationModel em;
+  EXPECT_NEAR(em.mttf_years(), 10.0, 1e-9);
+}
+
+TEST(ElectromigrationTest, BlackCurrentExponent) {
+  // MTTF ~ J^-2: doubling current density quarters the lifetime.
+  EmParams hot{};
+  hot.current_density_ma_um2 = 2.0;
+  ElectromigrationModel em(hot);
+  EXPECT_NEAR(em.mttf_years(), 10.0 / 4.0, 1e-9);
+}
+
+TEST(ElectromigrationTest, TemperatureAcceleration) {
+  EmParams hotter{};
+  hotter.temperature_k = 423.15;  // 150 C
+  ElectromigrationModel base, hot(hotter);
+  EXPECT_LT(hot.mttf_years(), base.mttf_years());
+}
+
+TEST(ElectromigrationTest, DelayScaleIsLinearInConsumedLifetime) {
+  ElectromigrationModel em;  // MTTF 10y, 10% growth at MTTF
+  EXPECT_DOUBLE_EQ(em.wire_delay_scale(0.0), 1.0);
+  EXPECT_NEAR(em.wire_delay_scale(5.0), 1.05, 1e-12);
+  EXPECT_NEAR(em.wire_delay_scale(10.0), 1.10, 1e-12);
+  EXPECT_GT(em.wire_delay_scale(7.0), em.wire_delay_scale(3.0));
+}
+
+TEST(ElectromigrationTest, Validation) {
+  EmParams bad{};
+  bad.current_density_ma_um2 = 0.0;
+  EXPECT_THROW(ElectromigrationModel{bad}, std::invalid_argument);
+  EmParams neg{};
+  neg.delay_growth_at_mttf = -0.1;
+  EXPECT_THROW(ElectromigrationModel{neg}, std::invalid_argument);
+  ElectromigrationModel em;
+  EXPECT_THROW(em.wire_delay_scale(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,67 @@
+#include "src/netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/multiplier/multiplier.hpp"
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+namespace {
+
+Netlist make_small() {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId b = nb.input("b");
+  const NetId en = nb.input("en");
+  const NetId x = nb.xor2(a, b);
+  const NetId t = nb.tbuf(x, en);
+  nb.netlist().mark_output(t, "y");
+  return std::move(nb.netlist());
+}
+
+TEST(ExportTest, VerilogContainsModuleAndInstances) {
+  const Netlist nl = make_small();
+  const std::string v = to_verilog(nl, "demo");
+  EXPECT_NE(v.find("module demo("), std::string::npos);
+  EXPECT_NE(v.find("module AGS_XOR2"), std::string::npos);
+  EXPECT_NE(v.find("module AGS_TBUF"), std::string::npos);
+  EXPECT_NE(v.find("AGS_XOR2 g0("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Only the used cell kinds get primitive definitions.
+  EXPECT_EQ(v.find("module AGS_AND2"), std::string::npos);
+}
+
+TEST(ExportTest, TristateNetsAreTrireg) {
+  const std::string v = to_verilog(make_small(), "demo");
+  EXPECT_NE(v.find("trireg"), std::string::npos);
+  EXPECT_NE(v.find("bufif1"), std::string::npos);
+}
+
+TEST(ExportTest, VerilogScalesToFullMultiplier) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const std::string v = to_verilog(m.netlist, "cb16");
+  // One instance line per gate.
+  std::size_t instances = 0, pos = 0;
+  while ((pos = v.find("\n  AGS_", pos)) != std::string::npos) {
+    ++instances;
+    ++pos;
+  }
+  EXPECT_EQ(instances, m.netlist.num_gates());
+}
+
+TEST(ExportTest, DotStructure) {
+  const std::string d = to_dot(make_small(), "g");
+  EXPECT_NE(d.find("digraph g {"), std::string::npos);
+  EXPECT_NE(d.find("shape=box"), std::string::npos);
+  EXPECT_NE(d.find("->"), std::string::npos);
+  EXPECT_NE(d.find("shape=invtriangle"), std::string::npos);
+}
+
+TEST(ExportTest, DotRefusesHugeNetlists) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  EXPECT_THROW(to_dot(m.netlist, "big"), std::invalid_argument);
+  EXPECT_NO_THROW(to_dot(m.netlist, "big", m.netlist.num_gates()));
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,157 @@
+// Differential fuzzing of the simulation substrate: random combinational
+// netlists are evaluated by TimingSim (single topological pass) and by an
+// independent oracle (iterate-to-fixpoint, order-independent). Any
+// divergence in functional values, any sensitized arrival beyond the STA
+// bound, or any structural-validation miss is a bug in the engine the whole
+// reproduction stands on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/netlist/netlist.hpp"
+#include "src/netlist/techlib.hpp"
+#include "src/sim/sta.hpp"
+#include "src/sim/timing_sim.hpp"
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+namespace {
+
+// Random DAG netlist: gates draw inputs uniformly from all earlier nets.
+Netlist random_netlist(Rng& rng, int num_inputs, int num_gates) {
+  Netlist nl;
+  for (int i = 0; i < num_inputs; ++i) {
+    nl.add_input("in" + std::to_string(i));
+  }
+  constexpr CellKind kKinds[] = {
+      CellKind::kBuf,  CellKind::kInv,   CellKind::kAnd2, CellKind::kNand2,
+      CellKind::kOr2,  CellKind::kNor2,  CellKind::kXor2, CellKind::kXnor2,
+      CellKind::kAnd3, CellKind::kOr3,   CellKind::kMux2, CellKind::kTbuf,
+      CellKind::kTie0, CellKind::kTie1};
+  for (int g = 0; g < num_gates; ++g) {
+    const CellKind kind =
+        kKinds[rng.next_below(sizeof(kKinds) / sizeof(kKinds[0]))];
+    const int n_in = cell_traits(kind).num_inputs;
+    std::vector<NetId> ins;
+    for (int k = 0; k < n_in; ++k) {
+      ins.push_back(static_cast<NetId>(rng.next_below(nl.num_nets())));
+    }
+    nl.add_gate(kind, ins);
+  }
+  // Mark the last few nets as outputs.
+  for (int i = 0; i < 4 && i < static_cast<int>(nl.num_nets()); ++i) {
+    nl.mark_output(static_cast<NetId>(nl.num_nets() - 1 -
+                                      static_cast<std::size_t>(i)),
+                   "out" + std::to_string(i));
+  }
+  return nl;
+}
+
+/// Order-independent oracle: re-evaluates every gate until nothing changes.
+/// Keeper state (TBUF) is carried across steps in `values`.
+void fixpoint_eval(const Netlist& nl, std::span<const Logic> inputs,
+                   std::vector<Logic>& values) {
+  const auto in_nets = nl.input_nets();
+  for (std::size_t i = 0; i < in_nets.size(); ++i) {
+    values[in_nets[i]] = inputs[i];
+  }
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    changed = false;
+    ASSERT_LT(++rounds, 1000) << "oracle failed to converge";
+    for (GateId g = 0; g < nl.num_gates(); ++g) {
+      const Gate& gate = nl.gate(g);
+      std::vector<Logic> in_vals;
+      for (NetId in : nl.gate_inputs(g)) in_vals.push_back(values[in]);
+      const Logic next = eval_cell(gate.kind, in_vals, values[gate.out]);
+      if (next != values[gate.out]) {
+        values[gate.out] = next;
+        changed = true;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, TimingSimMatchesFixpointOracle) {
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Netlist nl = random_netlist(rng, 6, 60);
+    ASSERT_NO_THROW(nl.validate());
+    TimingSim sim(nl, default_tech_library());
+    std::vector<Logic> oracle(nl.num_nets(), Logic::kX);
+    std::vector<Logic> pattern(nl.num_inputs());
+    for (int step = 0; step < 30; ++step) {
+      for (auto& v : pattern) v = logic_from_bool((rng.next() & 1) != 0);
+      sim.step(pattern);
+      fixpoint_eval(nl, pattern, oracle);
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        ASSERT_EQ(sim.value(n), oracle[n])
+            << "trial " << trial << " step " << step << " net " << n;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, SensitizedArrivalsNeverExceedSta) {
+  Rng rng(0xF023);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Netlist nl = random_netlist(rng, 5, 80);
+    const StaResult sta = run_sta(nl, default_tech_library());
+    // settle_ps spans *all* nets; random netlists have dead-end logic
+    // deeper than any marked output, so bound it by the deepest net, not
+    // by the output-only critical path.
+    double deepest = 0.0;
+    for (double a : sta.arrival_ps) deepest = std::max(deepest, a);
+    TimingSim sim(nl, default_tech_library());
+    std::vector<Logic> pattern(nl.num_inputs());
+    for (int step = 0; step < 20; ++step) {
+      for (auto& v : pattern) v = logic_from_bool((rng.next() & 1) != 0);
+      const StepResult r = sim.step(pattern);
+      EXPECT_LE(r.settle_ps, deepest + 1e-9);
+      EXPECT_LE(r.output_settle_ps, sta.critical_path_ps + 1e-9);
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        EXPECT_LE(sim.arrival(n), sta.arrival_ps[n] + 1e-9) << n;
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, RepeatedPatternIsAlwaysSilent) {
+  // Idempotence: re-applying the same pattern must produce no activity and
+  // no delay, whatever the netlist (including tri-state keepers).
+  Rng rng(0xF024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Netlist nl = random_netlist(rng, 6, 50);
+    TimingSim sim(nl, default_tech_library());
+    std::vector<Logic> pattern(nl.num_inputs());
+    for (int step = 0; step < 10; ++step) {
+      for (auto& v : pattern) v = logic_from_bool((rng.next() & 1) != 0);
+      sim.step(pattern);
+      const StepResult again = sim.step(pattern);
+      EXPECT_EQ(again.toggles, 0u);
+      EXPECT_DOUBLE_EQ(again.settle_ps, 0.0);
+      EXPECT_DOUBLE_EQ(again.switched_cap_ff, 0.0);
+    }
+  }
+}
+
+TEST(FuzzTest, DensityIsFiniteAndNonNegative) {
+  Rng rng(0xF025);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Netlist nl = random_netlist(rng, 6, 70);
+    TimingSim sim(nl, default_tech_library());
+    std::vector<Logic> pattern(nl.num_inputs());
+    for (int step = 0; step < 15; ++step) {
+      for (auto& v : pattern) v = logic_from_bool((rng.next() & 1) != 0);
+      const StepResult r = sim.step(pattern);
+      EXPECT_GE(r.switched_cap_ff, 0.0);
+      EXPECT_TRUE(std::isfinite(r.switched_cap_ff));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,74 @@
+#include "src/workload/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(HistogramTest, BinningAndTotals) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 2.0);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesClampIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(HistogramTest, MeanMinMaxTrackSamples) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(10.0);
+  h.add(30.0);
+  h.add(20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min_sample(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max_sample(), 30.0);
+}
+
+TEST(HistogramTest, FractionBelow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one per bin
+  EXPECT_NEAR(h.fraction_below(5.0), 0.5, 1e-9);
+  EXPECT_NEAR(h.fraction_below(10.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.fraction_below(0.0), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, Percentile) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.percentile(1.0), 10.0, 1e-9);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agingsim

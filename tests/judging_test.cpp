@@ -1,0 +1,67 @@
+#include "src/core/judging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/workload/patterns.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(JudgingTest, ThresholdSemantics) {
+  const JudgingBlock jb(16, 8);
+  EXPECT_TRUE(jb.one_cycle(0));               // 16 zeros
+  EXPECT_TRUE(jb.one_cycle(0x00FF));          // 8 zeros
+  EXPECT_FALSE(jb.one_cycle(0x01FF));         // 7 zeros
+  EXPECT_FALSE(jb.one_cycle(0xFFFF));         // 0 zeros
+}
+
+TEST(JudgingTest, SkipEdgeCases) {
+  EXPECT_TRUE(JudgingBlock(16, 0).one_cycle(0xFFFF));   // always one cycle
+  EXPECT_FALSE(JudgingBlock(16, 17).one_cycle(0));      // never one cycle
+  EXPECT_TRUE(JudgingBlock(16, 16).one_cycle(0));
+  EXPECT_FALSE(JudgingBlock(16, 16).one_cycle(1));
+}
+
+TEST(JudgingTest, ConstructionValidation) {
+  EXPECT_THROW(JudgingBlock(0, 0), std::invalid_argument);
+  EXPECT_THROW(JudgingBlock(65, 1), std::invalid_argument);
+  EXPECT_THROW(JudgingBlock(16, -1), std::invalid_argument);
+  EXPECT_THROW(JudgingBlock(16, 18), std::invalid_argument);
+  EXPECT_NO_THROW(JudgingBlock(16, 17));  // the "never" block is legal
+}
+
+TEST(JudgingTest, AnalyticRatioKnownValues) {
+  // P(#zeros >= 8) over 16 bits = 0.5 + C(16,8)/2^17.
+  EXPECT_NEAR(expected_one_cycle_ratio(16, 8), 0.5 + 12870.0 / 131072.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(expected_one_cycle_ratio(16, 0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_one_cycle_ratio(16, 17), 0.0);
+  EXPECT_NEAR(expected_one_cycle_ratio(16, 16), 1.0 / 65536.0, 1e-15);
+}
+
+TEST(JudgingTest, AnalyticMatchesMonteCarlo) {
+  Rng rng(99);
+  const auto pats = uniform_patterns(rng, 16, 40000);
+  for (int skip : {7, 8, 9}) {
+    const JudgingBlock jb(16, skip);
+    int ones = 0;
+    for (const auto& p : pats) ones += jb.one_cycle(p.a);
+    const double measured = static_cast<double>(ones) / pats.size();
+    EXPECT_NEAR(measured, expected_one_cycle_ratio(16, skip), 0.01)
+        << "skip " << skip;
+  }
+}
+
+TEST(JudgingTest, RatioDecreasesWithSkip) {
+  double prev = 1.1;
+  for (int skip = 0; skip <= 33; ++skip) {
+    const double r = expected_one_cycle_ratio(32, skip);
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,78 @@
+#include "src/netlist/logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace agingsim {
+namespace {
+
+TEST(LogicTest, KnownnessClassification) {
+  EXPECT_TRUE(is_known(Logic::kZero));
+  EXPECT_TRUE(is_known(Logic::kOne));
+  EXPECT_FALSE(is_known(Logic::kX));
+  EXPECT_FALSE(is_known(Logic::kZ));
+}
+
+TEST(LogicTest, BoolRoundTrip) {
+  EXPECT_EQ(logic_from_bool(false), Logic::kZero);
+  EXPECT_EQ(logic_from_bool(true), Logic::kOne);
+  EXPECT_FALSE(logic_to_bool(Logic::kZero));
+  EXPECT_TRUE(logic_to_bool(Logic::kOne));
+}
+
+TEST(LogicTest, NotTruthTable) {
+  EXPECT_EQ(logic_not(Logic::kZero), Logic::kOne);
+  EXPECT_EQ(logic_not(Logic::kOne), Logic::kZero);
+  EXPECT_EQ(logic_not(Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kZ), Logic::kX);
+}
+
+TEST(LogicTest, AndControllingZeroShortCircuitsUnknowns) {
+  EXPECT_EQ(logic_and(Logic::kZero, Logic::kX), Logic::kZero);
+  EXPECT_EQ(logic_and(Logic::kX, Logic::kZero), Logic::kZero);
+  EXPECT_EQ(logic_and(Logic::kZero, Logic::kZ), Logic::kZero);
+  EXPECT_EQ(logic_and(Logic::kOne, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_and(Logic::kOne, Logic::kOne), Logic::kOne);
+  EXPECT_EQ(logic_and(Logic::kOne, Logic::kZero), Logic::kZero);
+}
+
+TEST(LogicTest, OrControllingOneShortCircuitsUnknowns) {
+  EXPECT_EQ(logic_or(Logic::kOne, Logic::kX), Logic::kOne);
+  EXPECT_EQ(logic_or(Logic::kX, Logic::kOne), Logic::kOne);
+  EXPECT_EQ(logic_or(Logic::kZero, Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_or(Logic::kZero, Logic::kZero), Logic::kZero);
+  EXPECT_EQ(logic_or(Logic::kZero, Logic::kOne), Logic::kOne);
+}
+
+TEST(LogicTest, XorPropagatesUnknowns) {
+  EXPECT_EQ(logic_xor(Logic::kZero, Logic::kOne), Logic::kOne);
+  EXPECT_EQ(logic_xor(Logic::kOne, Logic::kOne), Logic::kZero);
+  EXPECT_EQ(logic_xor(Logic::kX, Logic::kOne), Logic::kX);
+  EXPECT_EQ(logic_xor(Logic::kZero, Logic::kZ), Logic::kX);
+}
+
+TEST(LogicTest, CharRendering) {
+  EXPECT_EQ(logic_to_char(Logic::kZero), '0');
+  EXPECT_EQ(logic_to_char(Logic::kOne), '1');
+  EXPECT_EQ(logic_to_char(Logic::kX), 'X');
+  EXPECT_EQ(logic_to_char(Logic::kZ), 'Z');
+  std::ostringstream os;
+  os << Logic::kOne << Logic::kX;
+  EXPECT_EQ(os.str(), "1X");
+}
+
+// De Morgan duality as a property over all value pairs.
+TEST(LogicTest, DeMorganHoldsOverAllPairs) {
+  const Logic vals[] = {Logic::kZero, Logic::kOne, Logic::kX, Logic::kZ};
+  for (Logic a : vals) {
+    for (Logic b : vals) {
+      EXPECT_EQ(logic_not(logic_and(a, b)),
+                logic_or(logic_not(a), logic_not(b)))
+          << logic_to_char(a) << "&" << logic_to_char(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,102 @@
+#include "src/workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(PatternsTest, CountZerosBasics) {
+  EXPECT_EQ(count_zeros(0, 16), 16);
+  EXPECT_EQ(count_zeros(0xFFFF, 16), 0);
+  EXPECT_EQ(count_zeros(0b1010, 4), 2);
+  // Bits above the width are ignored.
+  EXPECT_EQ(count_zeros(0xFF00, 8), 8);
+  EXPECT_EQ(count_zeros(~std::uint64_t{0}, 64), 0);
+}
+
+TEST(PatternsTest, UniformPatternsRespectWidth) {
+  Rng rng(1);
+  const auto pats = uniform_patterns(rng, 12, 500);
+  ASSERT_EQ(pats.size(), 500u);
+  for (const auto& p : pats) {
+    EXPECT_LT(p.a, 4096u);
+    EXPECT_LT(p.b, 4096u);
+  }
+}
+
+TEST(PatternsTest, UniformPatternsZeroCountIsBinomial) {
+  Rng rng(2);
+  const auto pats = uniform_patterns(rng, 16, 20000);
+  double mean = 0.0;
+  for (const auto& p : pats) mean += count_zeros(p.a, 16);
+  mean /= static_cast<double>(pats.size());
+  EXPECT_NEAR(mean, 8.0, 0.1);
+}
+
+class ZeroCountParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZeroCountParam, OperandHasExactZeroCount) {
+  const int zeros = GetParam();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = operand_with_zero_count(rng, 16, zeros);
+    EXPECT_EQ(count_zeros(v, 16), zeros);
+    EXPECT_LT(v, 0x10000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZeroCounts, ZeroCountParam,
+                         ::testing::Values(0, 1, 6, 8, 10, 15, 16));
+
+TEST(PatternsTest, OperandZeroCountPositionsAreUniform) {
+  // Every bit position should be cleared with roughly equal frequency.
+  Rng rng(4);
+  int cleared[8] = {0};
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t v = operand_with_zero_count(rng, 8, 3);
+    for (int bit = 0; bit < 8; ++bit) {
+      if (((v >> bit) & 1) == 0) ++cleared[bit];
+    }
+  }
+  for (int bit = 0; bit < 8; ++bit) {
+    EXPECT_NEAR(static_cast<double>(cleared[bit]) / trials, 3.0 / 8.0, 0.05)
+        << "bit " << bit;
+  }
+}
+
+TEST(PatternsTest, OperandZeroCountRejectsBadArgs) {
+  Rng rng(5);
+  EXPECT_THROW(operand_with_zero_count(rng, 8, -1), std::invalid_argument);
+  EXPECT_THROW(operand_with_zero_count(rng, 8, 9), std::invalid_argument);
+}
+
+TEST(PatternsTest, MultiplicandZerosPatterns) {
+  Rng rng(6);
+  const auto pats = patterns_with_multiplicand_zeros(rng, 16, 10, 300);
+  ASSERT_EQ(pats.size(), 300u);
+  for (const auto& p : pats) {
+    EXPECT_EQ(count_zeros(p.a, 16), 10);
+    EXPECT_LT(p.b, 0x10000u);
+  }
+}
+
+TEST(PatternsTest, DspPatternsAreInRangeAndCorrelated) {
+  Rng rng(7);
+  const auto pats = dsp_patterns(rng, 16, 1000);
+  ASSERT_EQ(pats.size(), 1000u);
+  double zeros_a = 0.0;
+  for (const auto& p : pats) {
+    EXPECT_LT(p.a, 0x10000u);
+    EXPECT_LT(p.b, 0x10000u);
+    zeros_a += count_zeros(p.a, 16);
+  }
+  // The signal operand lives in the low half of the range, so it averages
+  // more zeros than the uniform 8 — that is the point of the workload.
+  EXPECT_GT(zeros_a / 1000.0, 10.0);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,73 @@
+#include "src/power/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(PowerTest, DynamicEnergyScalesWithCapAndVdd) {
+  const TechLibrary& tech = default_tech_library();
+  PowerModel pm(tech);
+  EXPECT_DOUBLE_EQ(pm.dynamic_energy_fj(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pm.dynamic_energy_fj(10.0),
+                   10.0 * tech.vdd_v * tech.vdd_v);
+  EXPECT_DOUBLE_EQ(pm.dynamic_energy_fj(20.0), 2.0 * pm.dynamic_energy_fj(10.0));
+}
+
+TEST(PowerTest, LeakageFallsExponentiallyWithVthDrift) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  nb.netlist().mark_output(nb.inv(a), "y");
+  PowerModel pm(default_tech_library());
+  const double fresh = pm.leakage_power_nw(nb.netlist(), 0.0);
+  const double aged = pm.leakage_power_nw(nb.netlist(), 0.05);
+  EXPECT_GT(fresh, 0.0);
+  EXPECT_LT(aged, fresh);
+  // 50 mV with n*vT ~ 51 mV at 125 C: roughly 1/e.
+  EXPECT_NEAR(aged / fresh, std::exp(-0.05 / (1.5 * pm.thermal_voltage_v())),
+              1e-12);
+}
+
+TEST(PowerTest, LeakageScalesWithTransistorCount) {
+  NetlistBuilder small, big;
+  const NetId a = small.input("a");
+  small.netlist().mark_output(small.inv(a), "y");
+  const NetId b = big.input("a");
+  NetId y = b;
+  for (int i = 0; i < 10; ++i) y = big.inv(y);
+  big.netlist().mark_output(y, "y");
+  PowerModel pm(default_tech_library());
+  EXPECT_DOUBLE_EQ(pm.leakage_power_nw(big.netlist(), 0.0),
+                   10.0 * pm.leakage_power_nw(small.netlist(), 0.0));
+}
+
+TEST(PowerTest, FlipFlopBankEnergies) {
+  PowerModel pm(default_tech_library());
+  const PowerParams& p = pm.params();
+  EXPECT_DOUBLE_EQ(pm.dff_bank_energy_fj(32, 0),
+                   32.0 * p.dff_energy_per_clock_fj);
+  EXPECT_DOUBLE_EQ(pm.dff_bank_energy_fj(32, 8),
+                   32.0 * p.dff_energy_per_clock_fj +
+                       8.0 * p.dff_energy_per_toggle_fj);
+  // Razor FFs are strictly more expensive than plain DFFs.
+  EXPECT_GT(pm.razor_bank_energy_fj(32, 8), pm.dff_bank_energy_fj(32, 8));
+  EXPECT_DOUBLE_EQ(pm.razor_bank_energy_fj(32, 8),
+                   p.razor_energy_ratio * pm.dff_bank_energy_fj(32, 8));
+}
+
+TEST(PowerTest, EdpDefinition) {
+  EXPECT_DOUBLE_EQ(energy_delay_product(2.0, 3.0), 18.0);
+  EXPECT_DOUBLE_EQ(energy_delay_product(0.0, 5.0), 0.0);
+}
+
+TEST(PowerTest, ThermalVoltageAt125C) {
+  PowerModel pm(default_tech_library());
+  EXPECT_NEAR(pm.thermal_voltage_v(), 0.0343, 5e-4);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,38 @@
+#include "src/core/razor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agingsim {
+namespace {
+
+TEST(RazorTest, ViolationIsStrictlyPastThePeriod) {
+  EXPECT_FALSE(RazorBank::violation(899.9, 900.0));
+  EXPECT_FALSE(RazorBank::violation(900.0, 900.0));
+  EXPECT_TRUE(RazorBank::violation(900.1, 900.0));
+}
+
+TEST(RazorTest, DetectableWithinShadowWindow) {
+  RazorBank razor(RazorConfig{.shadow_window_cycles = 1.0,
+                              .reexec_penalty_cycles = 3});
+  // Detectable up to 2T with a full-period shadow window.
+  EXPECT_TRUE(razor.detectable(1500.0, 900.0));
+  EXPECT_TRUE(razor.detectable(1800.0, 900.0));
+  EXPECT_FALSE(razor.detectable(1800.1, 900.0));
+}
+
+TEST(RazorTest, NarrowShadowWindow) {
+  RazorBank razor(RazorConfig{.shadow_window_cycles = 0.5,
+                              .reexec_penalty_cycles = 3});
+  EXPECT_TRUE(razor.detectable(1300.0, 900.0));
+  EXPECT_FALSE(razor.detectable(1400.0, 900.0));
+}
+
+TEST(RazorTest, PenaltyIsConfigurable) {
+  RazorBank razor(RazorConfig{.shadow_window_cycles = 1.0,
+                              .reexec_penalty_cycles = 5});
+  EXPECT_EQ(razor.reexec_penalty_cycles(), 5);
+  EXPECT_DOUBLE_EQ(razor.config().shadow_window_cycles, 1.0);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,71 @@
+#include "src/workload/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace agingsim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_EQ(r.next_below(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBitsMasksWidth) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(r.next_bits(5), 32u);
+    EXPECT_LE(r.next_bits(16), 0xFFFFu);
+  }
+  // width 64 must be able to exceed 32-bit range eventually.
+  Rng r64(10);
+  bool big = false;
+  for (int i = 0; i < 64 && !big; ++i) big = r64.next_bits(64) > 0xFFFFFFFFull;
+  EXPECT_TRUE(big);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(13);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, BitBalance) {
+  Rng r(17);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i) ones += __builtin_popcountll(r.next());
+  // 64000 bits, expect ~32000 ones.
+  EXPECT_NEAR(static_cast<double>(ones), 32000.0, 800.0);
+}
+
+}  // namespace
+}  // namespace agingsim

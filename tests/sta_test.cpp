@@ -1,0 +1,74 @@
+#include "src/sim/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/netlist/builder.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(StaTest, ChainAccumulatesDelay) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId x = nb.inv(a);
+  const NetId y = nb.inv(x);
+  nb.netlist().mark_output(y, "y");
+  const TechLibrary& t = default_tech_library();
+  const StaResult r = run_sta(nb.netlist(), t);
+  const double inv = t.delay(CellKind::kInv);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[a], 0.0);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[x], inv);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[y], 2.0 * inv);
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 2.0 * inv);
+}
+
+TEST(StaTest, TakesWorstInputArrival) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId b = nb.input("b");
+  const NetId slow = nb.inv(nb.inv(nb.inv(a)));  // 3 inv
+  const NetId y = nb.and2(slow, b);
+  nb.netlist().mark_output(y, "y");
+  const TechLibrary& t = default_tech_library();
+  const StaResult r = run_sta(nb.netlist(), t);
+  EXPECT_DOUBLE_EQ(r.arrival_ps[y], 3.0 * t.delay(CellKind::kInv) +
+                                        t.delay(CellKind::kAnd2));
+}
+
+TEST(StaTest, CriticalPathIsOverOutputsOnly) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId y = nb.inv(a);
+  nb.inv(nb.inv(y));  // deeper dead-end logic, not an output
+  nb.netlist().mark_output(y, "y");
+  const StaResult r = run_sta(nb.netlist(), default_tech_library());
+  EXPECT_DOUBLE_EQ(r.critical_path_ps,
+                   default_tech_library().delay(CellKind::kInv));
+}
+
+TEST(StaTest, AgingOverlayScalesPerGate) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  const NetId x = nb.inv(a);
+  const NetId y = nb.inv(x);
+  nb.netlist().mark_output(y, "y");
+  const TechLibrary& t = default_tech_library();
+  const std::vector<double> scales = {2.0, 3.0};
+  const StaResult r = run_sta(nb.netlist(), t, scales);
+  EXPECT_DOUBLE_EQ(r.critical_path_ps, 5.0 * t.delay(CellKind::kInv));
+}
+
+TEST(StaTest, RejectsWrongOverlaySize) {
+  NetlistBuilder nb;
+  const NetId a = nb.input("a");
+  nb.netlist().mark_output(nb.inv(a), "y");
+  const std::vector<double> wrong = {1.0, 1.0};
+  EXPECT_THROW(run_sta(nb.netlist(), default_tech_library(), wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

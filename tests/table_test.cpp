@@ -1,0 +1,50 @@
+#include "src/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(TableTest, TextRenderingAligns) {
+  Table t("Demo", {"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_text();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t("T", {"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowArityIsChecked) {
+  Table t("T", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table("empty", {}), std::invalid_argument);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5378, 2), "53.78%");
+  EXPECT_EQ(Table::num(12345), "12345");
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table t("T", {"x"});
+  t.add_row({"y"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,49 @@
+#include "src/netlist/techlib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(TechLibTest, DefaultLibraryIsSane) {
+  const TechLibrary& t = default_tech_library();
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    EXPECT_GE(t.delay(kind), 0.0);
+    EXPECT_GE(t.cap(kind), 0.0);
+  }
+  // Tie cells are sources: no propagation delay.
+  EXPECT_EQ(t.delay(CellKind::kTie0), 0.0);
+  EXPECT_EQ(t.delay(CellKind::kTie1), 0.0);
+  // Inverting gates are faster than their complex counterparts.
+  EXPECT_LT(t.delay(CellKind::kNand2), t.delay(CellKind::kXor2));
+  EXPECT_LT(t.delay(CellKind::kInv), t.delay(CellKind::kMux2));
+  EXPECT_GT(t.vdd_v, t.vth0_v);
+}
+
+TEST(TechLibTest, ScalingMultipliesDelaysOnly) {
+  const TechLibrary& t = default_tech_library();
+  const TechLibrary s = t.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.delay(CellKind::kXor2), 2.0 * t.delay(CellKind::kXor2));
+  EXPECT_DOUBLE_EQ(s.cap(CellKind::kXor2), t.cap(CellKind::kXor2));
+  EXPECT_DOUBLE_EQ(s.vdd_v, t.vdd_v);
+  EXPECT_THROW(t.scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(t.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(TechLibTest, DelayScaleFromDvthIsMonotoneAndAnchored) {
+  const TechLibrary& t = default_tech_library();
+  EXPECT_DOUBLE_EQ(delay_scale_from_dvth(t, 0.0), 1.0);
+  const double s1 = delay_scale_from_dvth(t, 0.02);
+  const double s2 = delay_scale_from_dvth(t, 0.05);
+  EXPECT_GT(s1, 1.0);
+  EXPECT_GT(s2, s1);
+  // A dVth consuming the whole overdrive is rejected.
+  EXPECT_THROW(delay_scale_from_dvth(t, t.vdd_v - t.vth0_v),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

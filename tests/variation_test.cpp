@@ -1,0 +1,80 @@
+#include "src/aging/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/multiplier/multiplier.hpp"
+#include "src/sim/sta.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(VariationTest, ZeroSigmaIsIdentity) {
+  const auto m = build_array_multiplier(8);
+  const auto scales = process_variation_scales(m.netlist, 0.0, 1);
+  ASSERT_EQ(scales.size(), m.netlist.num_gates());
+  for (double s : scales) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(VariationTest, DeterministicPerSeed) {
+  const auto m = build_array_multiplier(8);
+  const auto a = process_variation_scales(m.netlist, 0.05, 7);
+  const auto b = process_variation_scales(m.netlist, 0.05, 7);
+  const auto c = process_variation_scales(m.netlist, 0.05, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(VariationTest, LognormalStatistics) {
+  const auto m = build_array_multiplier(16);  // ~1.4k gates: decent sample
+  const double sigma = 0.08;
+  const auto scales = process_variation_scales(m.netlist, sigma, 3);
+  double mean_log = 0.0, var_log = 0.0;
+  for (double s : scales) mean_log += std::log(s);
+  mean_log /= static_cast<double>(scales.size());
+  for (double s : scales) {
+    const double d = std::log(s) - mean_log;
+    var_log += d * d;
+  }
+  var_log /= static_cast<double>(scales.size());
+  EXPECT_NEAR(mean_log, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var_log), sigma, 0.01);
+  for (double s : scales) EXPECT_GT(s, 0.0);
+}
+
+TEST(VariationTest, VariationWidensCriticalPathSpread) {
+  // Monte-Carlo corner study: with variation the worst-die critical path
+  // exceeds nominal — the guard-band a fixed design must pay.
+  const auto m = build_array_multiplier(8);
+  const TechLibrary& t = default_tech_library();
+  const double nominal = run_sta(m.netlist, t).critical_path_ps;
+  double worst = 0.0;
+  for (std::uint64_t die = 0; die < 20; ++die) {
+    const auto scales = process_variation_scales(m.netlist, 0.08, die);
+    worst = std::max(worst,
+                     run_sta(m.netlist, t, scales).critical_path_ps);
+  }
+  EXPECT_GT(worst, nominal);
+}
+
+TEST(VariationTest, CombineScalesMultipliesElementwise) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 0.5, 1.0};
+  const auto c = combine_scales({a, b});
+  EXPECT_EQ(c, (std::vector<double>{2.0, 1.0, 3.0}));
+  // Empty overlays are identity.
+  EXPECT_EQ(combine_scales({{}, a, {}}), a);
+  EXPECT_TRUE(combine_scales({}).empty());
+  const std::vector<double> wrong = {1.0};
+  EXPECT_THROW(combine_scales({a, wrong}), std::invalid_argument);
+}
+
+TEST(VariationTest, RejectsNegativeSigma) {
+  const auto m = build_array_multiplier(4);
+  EXPECT_THROW(process_variation_scales(m.netlist, -0.1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim
