@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ahl"
+  "../bench/bench_ablation_ahl.pdb"
+  "CMakeFiles/bench_ablation_ahl.dir/bench_ablation_ahl.cpp.o"
+  "CMakeFiles/bench_ablation_ahl.dir/bench_ablation_ahl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

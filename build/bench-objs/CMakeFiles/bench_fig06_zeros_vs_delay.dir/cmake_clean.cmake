@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_zeros_vs_delay"
+  "../bench/bench_fig06_zeros_vs_delay.pdb"
+  "CMakeFiles/bench_fig06_zeros_vs_delay.dir/bench_fig06_zeros_vs_delay.cpp.o"
+  "CMakeFiles/bench_fig06_zeros_vs_delay.dir/bench_fig06_zeros_vs_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_zeros_vs_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_errors32"
+  "../bench/bench_fig18_errors32.pdb"
+  "CMakeFiles/bench_fig18_errors32.dir/bench_fig18_errors32.cpp.o"
+  "CMakeFiles/bench_fig18_errors32.dir/bench_fig18_errors32.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_errors32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_22_ahl_errors"
+  "../bench/bench_fig19_22_ahl_errors.pdb"
+  "CMakeFiles/bench_fig19_22_ahl_errors.dir/bench_fig19_22_ahl_errors.cpp.o"
+  "CMakeFiles/bench_fig19_22_ahl_errors.dir/bench_fig19_22_ahl_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_22_ahl_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_adaptive16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig25_area"
+  "../bench/bench_fig25_area.pdb"
+  "CMakeFiles/bench_fig25_area.dir/bench_fig25_area.cpp.o"
+  "CMakeFiles/bench_fig25_area.dir/bench_fig25_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

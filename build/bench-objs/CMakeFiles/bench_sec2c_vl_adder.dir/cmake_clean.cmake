@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec2c_vl_adder"
+  "../bench/bench_sec2c_vl_adder.pdb"
+  "CMakeFiles/bench_sec2c_vl_adder.dir/bench_sec2c_vl_adder.cpp.o"
+  "CMakeFiles/bench_sec2c_vl_adder.dir/bench_sec2c_vl_adder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2c_vl_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

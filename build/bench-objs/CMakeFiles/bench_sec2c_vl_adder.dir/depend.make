@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec2c_vl_adder.
+# This may be replaced when dependencies are built.

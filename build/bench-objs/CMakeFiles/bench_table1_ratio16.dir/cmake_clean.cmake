@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_ratio16"
+  "../bench/bench_table1_ratio16.pdb"
+  "CMakeFiles/bench_table1_ratio16.dir/bench_table1_ratio16.cpp.o"
+  "CMakeFiles/bench_table1_ratio16.dir/bench_table1_ratio16.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ratio16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

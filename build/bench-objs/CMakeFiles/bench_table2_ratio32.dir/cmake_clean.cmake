@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ratio32"
+  "../bench/bench_table2_ratio32.pdb"
+  "CMakeFiles/bench_table2_ratio32.dir/bench_table2_ratio32.cpp.o"
+  "CMakeFiles/bench_table2_ratio32.dir/bench_table2_ratio32.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ratio32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

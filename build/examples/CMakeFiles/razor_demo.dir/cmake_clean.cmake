@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/razor_demo.dir/razor_demo.cpp.o"
+  "CMakeFiles/razor_demo.dir/razor_demo.cpp.o.d"
+  "razor_demo"
+  "razor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/razor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

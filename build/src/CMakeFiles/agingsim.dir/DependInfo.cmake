@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adder/adder.cpp" "src/CMakeFiles/agingsim.dir/adder/adder.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/adder/adder.cpp.o.d"
+  "/root/repo/src/aging/bti.cpp" "src/CMakeFiles/agingsim.dir/aging/bti.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/bti.cpp.o.d"
+  "/root/repo/src/aging/electromigration.cpp" "src/CMakeFiles/agingsim.dir/aging/electromigration.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/electromigration.cpp.o.d"
+  "/root/repo/src/aging/prob_propagation.cpp" "src/CMakeFiles/agingsim.dir/aging/prob_propagation.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/prob_propagation.cpp.o.d"
+  "/root/repo/src/aging/scenario.cpp" "src/CMakeFiles/agingsim.dir/aging/scenario.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/scenario.cpp.o.d"
+  "/root/repo/src/aging/stress.cpp" "src/CMakeFiles/agingsim.dir/aging/stress.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/stress.cpp.o.d"
+  "/root/repo/src/aging/variation.cpp" "src/CMakeFiles/agingsim.dir/aging/variation.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/aging/variation.cpp.o.d"
+  "/root/repo/src/core/aging_indicator.cpp" "src/CMakeFiles/agingsim.dir/core/aging_indicator.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/aging_indicator.cpp.o.d"
+  "/root/repo/src/core/ahl.cpp" "src/CMakeFiles/agingsim.dir/core/ahl.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/ahl.cpp.o.d"
+  "/root/repo/src/core/ahl_netlist.cpp" "src/CMakeFiles/agingsim.dir/core/ahl_netlist.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/ahl_netlist.cpp.o.d"
+  "/root/repo/src/core/area.cpp" "src/CMakeFiles/agingsim.dir/core/area.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/area.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/agingsim.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/judging.cpp" "src/CMakeFiles/agingsim.dir/core/judging.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/judging.cpp.o.d"
+  "/root/repo/src/core/razor.cpp" "src/CMakeFiles/agingsim.dir/core/razor.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/razor.cpp.o.d"
+  "/root/repo/src/core/vl_multiplier.cpp" "src/CMakeFiles/agingsim.dir/core/vl_multiplier.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/core/vl_multiplier.cpp.o.d"
+  "/root/repo/src/multiplier/array.cpp" "src/CMakeFiles/agingsim.dir/multiplier/array.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/multiplier/array.cpp.o.d"
+  "/root/repo/src/multiplier/column_bypass.cpp" "src/CMakeFiles/agingsim.dir/multiplier/column_bypass.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/multiplier/column_bypass.cpp.o.d"
+  "/root/repo/src/multiplier/reference.cpp" "src/CMakeFiles/agingsim.dir/multiplier/reference.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/multiplier/reference.cpp.o.d"
+  "/root/repo/src/multiplier/row_bypass.cpp" "src/CMakeFiles/agingsim.dir/multiplier/row_bypass.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/multiplier/row_bypass.cpp.o.d"
+  "/root/repo/src/multiplier/wallace.cpp" "src/CMakeFiles/agingsim.dir/multiplier/wallace.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/multiplier/wallace.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/agingsim.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/cell.cpp" "src/CMakeFiles/agingsim.dir/netlist/cell.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/cell.cpp.o.d"
+  "/root/repo/src/netlist/export.cpp" "src/CMakeFiles/agingsim.dir/netlist/export.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/export.cpp.o.d"
+  "/root/repo/src/netlist/logic.cpp" "src/CMakeFiles/agingsim.dir/netlist/logic.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/logic.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/agingsim.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/techlib.cpp" "src/CMakeFiles/agingsim.dir/netlist/techlib.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/netlist/techlib.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/CMakeFiles/agingsim.dir/power/power.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/power/power.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/agingsim.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/report/table.cpp.o.d"
+  "/root/repo/src/sim/sequential.cpp" "src/CMakeFiles/agingsim.dir/sim/sequential.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/sim/sequential.cpp.o.d"
+  "/root/repo/src/sim/sta.cpp" "src/CMakeFiles/agingsim.dir/sim/sta.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/sim/sta.cpp.o.d"
+  "/root/repo/src/sim/timing_sim.cpp" "src/CMakeFiles/agingsim.dir/sim/timing_sim.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/sim/timing_sim.cpp.o.d"
+  "/root/repo/src/workload/histogram.cpp" "src/CMakeFiles/agingsim.dir/workload/histogram.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/workload/histogram.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/agingsim.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/workload/patterns.cpp.o.d"
+  "/root/repo/src/workload/rng.cpp" "src/CMakeFiles/agingsim.dir/workload/rng.cpp.o" "gcc" "src/CMakeFiles/agingsim.dir/workload/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

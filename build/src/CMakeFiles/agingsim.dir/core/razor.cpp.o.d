@@ -1,0 +1,3 @@
+src/CMakeFiles/agingsim.dir/core/razor.cpp.o: \
+ /root/repo/src/core/razor.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/../src/core/razor.hpp

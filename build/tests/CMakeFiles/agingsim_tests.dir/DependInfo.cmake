@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adder_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/adder_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/adder_test.cpp.o.d"
+  "/root/repo/tests/aging_indicator_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/aging_indicator_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/aging_indicator_test.cpp.o.d"
+  "/root/repo/tests/ahl_gate_level_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/ahl_gate_level_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/ahl_gate_level_test.cpp.o.d"
+  "/root/repo/tests/ahl_netlist_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/ahl_netlist_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/ahl_netlist_test.cpp.o.d"
+  "/root/repo/tests/ahl_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/ahl_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/ahl_test.cpp.o.d"
+  "/root/repo/tests/area_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/area_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/area_test.cpp.o.d"
+  "/root/repo/tests/bti_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/bti_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/bti_test.cpp.o.d"
+  "/root/repo/tests/builder_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/builder_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/cell_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/cell_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/cell_test.cpp.o.d"
+  "/root/repo/tests/electromigration_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/electromigration_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/electromigration_test.cpp.o.d"
+  "/root/repo/tests/export_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/export_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/export_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/histogram_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/histogram_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/judging_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/judging_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/judging_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/multiplier_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/multiplier_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/multiplier_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/patterns_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/patterns_test.cpp.o.d"
+  "/root/repo/tests/power_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/power_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/power_test.cpp.o.d"
+  "/root/repo/tests/prob_propagation_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/prob_propagation_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/prob_propagation_test.cpp.o.d"
+  "/root/repo/tests/razor_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/razor_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/razor_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sequential_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/sequential_test.cpp.o.d"
+  "/root/repo/tests/sta_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/sta_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/sta_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/techlib_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/techlib_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/techlib_test.cpp.o.d"
+  "/root/repo/tests/timing_sim_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/timing_sim_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/timing_sim_test.cpp.o.d"
+  "/root/repo/tests/trace_api_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/trace_api_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/trace_api_test.cpp.o.d"
+  "/root/repo/tests/variation_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/variation_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/variation_test.cpp.o.d"
+  "/root/repo/tests/vl_system_test.cpp" "tests/CMakeFiles/agingsim_tests.dir/vl_system_test.cpp.o" "gcc" "tests/CMakeFiles/agingsim_tests.dir/vl_system_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agingsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
