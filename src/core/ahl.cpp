@@ -1,6 +1,8 @@
 #include "src/core/ahl.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 namespace agingsim {
 
@@ -11,16 +13,61 @@ AdaptiveHoldLogic::AdaptiveHoldLogic(AhlConfig config)
       // judging block saturates there.
       second_(config.width, std::min(config.skip + config.second_block_offset,
                                      config.width + 1)),
-      indicator_(config.indicator) {}
+      indicator_(config.indicator) {
+  if (config.storm_fallback) {
+    if (config.storm_error_threshold <= 0.0 ||
+        config.storm_error_threshold > 1.0) {
+      throw std::invalid_argument(
+          "AdaptiveHoldLogic: storm threshold must be in (0, 1]");
+    }
+    if (config.storm_calm_windows < 1) {
+      throw std::invalid_argument(
+          "AdaptiveHoldLogic: storm_calm_windows must be >= 1");
+    }
+    storm_trip_count_ = std::max(
+        1, static_cast<int>(std::ceil(config.storm_error_threshold *
+                                      config.indicator.window_ops)));
+  }
+}
 
 int AdaptiveHoldLogic::decide_cycles(
     std::uint64_t judging_operand) const noexcept {
+  // Graceful degradation: under an error storm every pattern is issued as
+  // two cycles, which by the architectural contract always covers the path.
+  if (storm_active_) return 2;
   const JudgingBlock& active = using_second_block() ? second_ : first_;
   return active.one_cycle(judging_operand) ? 1 : 2;
 }
 
 void AdaptiveHoldLogic::record_outcome(bool razor_error) {
   if (config_.adaptive) indicator_.record(razor_error);
+  if (!config_.storm_fallback) return;
+
+  ++storm_ops_in_window_;
+  if (razor_error) ++storm_errors_in_window_;
+  // Engage as soon as the window's error budget is blown — waiting for the
+  // window boundary would only prolong the re-execution thrash.
+  if (!storm_active_ && storm_errors_in_window_ >= storm_trip_count_) {
+    storm_active_ = true;
+    ++storm_engagements_;
+    calm_streak_ = 0;
+  }
+  if (storm_ops_in_window_ >= config_.indicator.window_ops) {
+    if (storm_active_) {
+      if (storm_errors_in_window_ < storm_trip_count_) {
+        ++calm_streak_;
+      } else {
+        calm_streak_ = 0;
+      }
+      if (calm_streak_ >= config_.storm_calm_windows) {
+        storm_active_ = false;
+        ++storm_recoveries_;
+        calm_streak_ = 0;
+      }
+    }
+    storm_ops_in_window_ = 0;
+    storm_errors_in_window_ = 0;
+  }
 }
 
 }  // namespace agingsim

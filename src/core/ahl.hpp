@@ -20,6 +20,20 @@ struct AhlConfig {
   /// (offset 1); the ablation bench sweeps this.
   int second_block_offset = 1;
   AgingIndicatorConfig indicator{};
+
+  /// Error-storm graceful degradation (resilience extension, docs/FAULTS.md).
+  /// When enabled, the AHL watches the Razor error rate over windows of
+  /// `indicator.window_ops` operations; once the rate reaches
+  /// `storm_error_threshold` the circuit falls back to always-two-cycle
+  /// issue — every path then fits the relaxed timing, so a delay-faulted
+  /// part keeps producing correct (if slower) results instead of thrashing
+  /// in re-execution or silently corrupting data. After
+  /// `storm_calm_windows` consecutive windows below the threshold the AHL
+  /// returns to normal judging (re-probing the silicon; if the fault
+  /// persists, the storm re-engages one window later).
+  bool storm_fallback = false;
+  double storm_error_threshold = 0.30;
+  int storm_calm_windows = 2;
 };
 
 /// The AHL circuit: two judging blocks (Skip-k and Skip-(k+1)), an aging
@@ -44,6 +58,12 @@ class AdaptiveHoldLogic {
     return config_.adaptive && indicator_.aged();
   }
 
+  /// True while the error-storm fallback is forcing two-cycle issue.
+  bool storm_active() const noexcept { return storm_active_; }
+  /// Times the fallback engaged / recovered since construction.
+  std::uint64_t storm_engagements() const noexcept { return storm_engagements_; }
+  std::uint64_t storm_recoveries() const noexcept { return storm_recoveries_; }
+
   const AhlConfig& config() const noexcept { return config_; }
   const AgingIndicator& indicator() const noexcept { return indicator_; }
 
@@ -52,6 +72,15 @@ class AdaptiveHoldLogic {
   JudgingBlock first_;
   JudgingBlock second_;
   AgingIndicator indicator_;
+
+  // Error-storm fallback state (all inert unless config_.storm_fallback).
+  int storm_trip_count_ = 0;  // errors per window that constitute a storm
+  int storm_ops_in_window_ = 0;
+  int storm_errors_in_window_ = 0;
+  int calm_streak_ = 0;
+  bool storm_active_ = false;
+  std::uint64_t storm_engagements_ = 0;
+  std::uint64_t storm_recoveries_ = 0;
 };
 
 }  // namespace agingsim

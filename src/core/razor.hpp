@@ -18,6 +18,16 @@ struct RazorConfig {
   double shadow_window_cycles = 1.0;
   /// Extra cycles consumed by a detected violation (paper Section IV-B).
   int reexec_penalty_cycles = 3;
+  /// Metastability window (ps) just past the main clock edge. A data
+  /// transition landing inside it races the main flip-flop's resolution
+  /// time: the error comparator may resolve to "no error" even though the
+  /// captured word is marginal, letting a wrong value escape (Ernst et al.
+  /// report exactly this residual SDC channel for Razor). 0 models the
+  /// ideal detector with a hard `delay <= T` cutoff — the seed behaviour.
+  double metastability_window_ps = 0.0;
+  /// Escape probability for a transition landing exactly at the clock edge;
+  /// decays linearly to 0 across the metastability window.
+  double edge_escape_prob = 0.5;
 };
 
 class RazorBank {
@@ -31,12 +41,32 @@ class RazorBank {
   }
 
   /// Whether the shadow latch still holds the correct value, i.e. the
-  /// violation is detectable and recoverable. A delay beyond the shadow
-  /// window would silently corrupt the result; the system model counts
-  /// such events separately and the test suite proves they cannot occur
-  /// when T >= critical_path / 2.
+  /// violation is recoverable at all. A delay beyond the shadow window
+  /// silently corrupts the result; the system model counts such events
+  /// separately and the test suite proves they cannot occur when
+  /// T >= critical_path / 2 and no delay faults are injected.
   bool detectable(double delay_ps, double period_ps) const noexcept {
     return delay_ps <= period_ps * (1.0 + config_.shadow_window_cycles);
+  }
+
+  /// Probability that a violation with this delay raises the error signal.
+  /// Replaces the hard shadow-window cutoff with a detection-probability
+  /// profile:
+  ///  - beyond the shadow window: 0 (the shadow latch itself is wrong);
+  ///  - within `metastability_window_ps` of the main clock edge: ramps from
+  ///    `1 - edge_escape_prob` at the edge up to 1 at the window's end;
+  ///  - elsewhere inside the shadow window: 1.
+  /// Precondition: violation(delay_ps, period_ps). With the default config
+  /// (window 0) this reproduces the seed's deterministic semantics exactly.
+  double detection_probability(double delay_ps,
+                               double period_ps) const noexcept {
+    if (!detectable(delay_ps, period_ps)) return 0.0;
+    const double past_edge = delay_ps - period_ps;
+    if (past_edge < config_.metastability_window_ps) {
+      const double ramp = past_edge / config_.metastability_window_ps;
+      return 1.0 - config_.edge_escape_prob * (1.0 - ramp);
+    }
+    return 1.0;
   }
 
   int reexec_penalty_cycles() const noexcept {

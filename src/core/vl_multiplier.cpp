@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/sim/sta.hpp"
+#include "src/workload/rng.hpp"
 
 namespace agingsim {
 namespace {
@@ -14,23 +15,39 @@ namespace {
 // with the operand width.
 constexpr double kAhlEnergyPerBitFj = 0.5;
 
+std::string to_hex(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  do {
+    out.insert(out.begin(), digits[v & 0xF]);
+    v >>= 4;
+  } while (v != 0);
+  return out;
+}
+
 }  // namespace
 
-std::vector<OpTrace> compute_op_trace(
-    const MultiplierNetlist& mult, const TechLibrary& tech,
-    std::span<const OperandPattern> patterns,
-    std::span<const double> gate_delay_scale) {
-  MultiplierSim sim(mult, tech, gate_delay_scale);
+std::vector<OpTrace> compute_op_trace(const MultiplierNetlist& mult,
+                                      const TechLibrary& tech,
+                                      std::span<const OperandPattern> patterns,
+                                      const TraceOptions& options) {
+  MultiplierSim sim(mult, tech, options.gate_delay_scale);
+  if (options.faults != nullptr) sim.set_fault_overlay(options.faults);
   std::vector<OpTrace> trace;
   trace.reserve(patterns.size());
   std::uint64_t prev_a = 0, prev_b = 0, prev_p = 0;
   bool first = true;
   for (const OperandPattern& pat : patterns) {
+    const std::int64_t cycle = sim.timing_sim().steps();
     const StepResult step = sim.apply(pat.a, pat.b);
     OpTrace op;
     op.a = pat.a;
     op.b = pat.b;
     op.product = sim.product();
+    op.golden = reference_multiply(pat.a, pat.b, mult.width);
+    op.correct = (op.product == op.golden);
+    op.fault_active =
+        options.faults != nullptr && options.faults->active_at(cycle);
     op.delay_ps = step.output_settle_ps;
     op.switched_cap_ff = step.switched_cap_ff;
     op.in_toggles =
@@ -38,13 +55,16 @@ std::vector<OpTrace> compute_op_trace(
               : std::popcount(pat.a ^ prev_a) + std::popcount(pat.b ^ prev_b);
     op.out_toggles = first ? 0 : std::popcount(op.product ^ prev_p);
 
-    const std::uint64_t expect = reference_multiply(pat.a, pat.b, mult.width);
-    if (op.product != expect) {
+    if (!op.correct && options.faults == nullptr) {
+      // Without injected faults a mismatch is a netlist or simulator bug;
+      // carry everything needed to reproduce it in the message.
       throw std::logic_error(
-          "compute_op_trace: netlist product mismatch: " +
-          std::to_string(pat.a) + " * " + std::to_string(pat.b) + " = " +
-          std::to_string(expect) + ", netlist says " +
-          std::to_string(op.product));
+          "compute_op_trace: netlist product mismatch at pattern index " +
+          std::to_string(trace.size()) + ": " + std::to_string(pat.a) +
+          " * " + std::to_string(pat.b) + ": expected " +
+          std::to_string(op.golden) + " (0x" + to_hex(op.golden) +
+          "), netlist says " + std::to_string(op.product) + " (0x" +
+          to_hex(op.product) + ")");
     }
     trace.push_back(op);
     prev_a = pat.a;
@@ -53,6 +73,14 @@ std::vector<OpTrace> compute_op_trace(
     first = false;
   }
   return trace;
+}
+
+std::vector<OpTrace> compute_op_trace(
+    const MultiplierNetlist& mult, const TechLibrary& tech,
+    std::span<const OperandPattern> patterns,
+    std::span<const double> gate_delay_scale) {
+  return compute_op_trace(mult, tech, patterns,
+                          TraceOptions{.gate_delay_scale = gate_delay_scale});
 }
 
 double critical_path_ps(const MultiplierNetlist& mult, const TechLibrary& tech,
@@ -82,34 +110,65 @@ RunStats VariableLatencySystem::run(std::span<const OpTrace> trace,
   const int width = mult_->width;
   const int ff_bits = 2 * width;  // per bank: two operands in, 2m product out
 
+  Rng escape_rng(config_.razor_seed);
   RunStats s;
   s.period_ps = period;
   for (const OpTrace& op : trace) {
     const std::uint64_t judging = judge_on_a ? op.a : op.b;
+    if (ahl.storm_active()) ++s.storm_ops;
     const int decided = ahl.decide_cycles(judging);
     bool error = false;
+    // Whether the word the architecture finally commits equals a*b. Razor
+    // re-execution recovers *timing* faults (the settled product), never
+    // functional ones — a stuck-at that corrupts the settled value escapes
+    // to SDC even when a violation happened to be flagged on the same op.
+    bool committed_correct;
     std::uint64_t cycles;
     if (decided == 1) {
       ++s.one_cycle_ops;
       if (RazorBank::violation(op.delay_ps, period)) {
-        if (razor.detectable(op.delay_ps, period)) {
+        const double p_detect = razor.detection_probability(op.delay_ps,
+                                                            period);
+        const bool detected =
+            p_detect > 0.0 && escape_rng.next_double() < p_detect;
+        if (detected) {
           error = true;
           ++s.errors;
           cycles = 1 + static_cast<std::uint64_t>(razor.reexec_penalty_cycles());
+          committed_correct = op.correct;  // re-exec commits the settled word
+        } else if (razor.detectable(op.delay_ps, period)) {
+          // In-window violation the comparator missed (metastability): the
+          // main flip-flop's marginal capture is committed unchallenged.
+          ++s.razor_escapes;
+          cycles = 1;
+          committed_correct = false;
         } else {
-          // Outside the shadow window: silently wrong result. The
+          // Outside the shadow window: silently wrong result. The fault-free
           // variable-latency contract (T >= crit/2) makes this impossible;
-          // tracked so tests and benches can assert it stays zero.
+          // tracked so tests and benches can assert it stays zero — and so
+          // fault campaigns can measure when injected delay outliers break
+          // the contract.
           ++s.undetected;
           cycles = 1;
+          committed_correct = false;
         }
       } else {
         cycles = 1;
+        committed_correct = op.correct;
       }
     } else {
       ++s.two_cycle_ops;
       cycles = 2;
-      if (op.delay_ps > 2.0 * period) ++s.undetected;
+      committed_correct = op.correct;
+      if (op.delay_ps > 2.0 * period) {
+        ++s.undetected;
+        committed_correct = false;
+      }
+    }
+    if (!committed_correct) {
+      ++s.sdc_ops;
+    } else if (op.fault_active && !error) {
+      ++s.masked_faults;
     }
     ahl.record_outcome(error);
 
@@ -132,6 +191,8 @@ RunStats VariableLatencySystem::run(std::span<const OpTrace> trace,
     s.ahl_energy_fj += kAhlEnergyPerBitFj * static_cast<double>(width);
   }
   s.switched_to_second_block = ahl.using_second_block();
+  s.storm_engagements = ahl.storm_engagements();
+  s.storm_recoveries = ahl.storm_recoveries();
 
   const double total_time_ps =
       static_cast<double>(s.total_cycles) * period;
@@ -150,6 +211,8 @@ RunStats VariableLatencySystem::run(std::span<const OpTrace> trace,
                         static_cast<double>(s.ops);
     s.errors_per_10k_ops = static_cast<double>(s.errors) * 10000.0 /
                            static_cast<double>(s.ops);
+    s.sdc_per_10k_ops = static_cast<double>(s.sdc_ops) * 10000.0 /
+                        static_cast<double>(s.ops);
     // fJ / ps = mW.
     s.avg_power_mw = s.total_energy_fj / total_time_ps;
     s.edp_mw_ns2 = energy_delay_product(s.avg_power_mw,
@@ -176,6 +239,12 @@ RunStats FixedLatencySystem::run(std::span<const OpTrace> trace,
       // simply broken; callers must pass the (aged) critical path.
       ++s.undetected;
     }
+    // No Razor here: every late settle or corrupted settle commits.
+    if (!op.correct || op.delay_ps > period_ps) {
+      ++s.sdc_ops;
+    } else if (op.fault_active) {
+      ++s.masked_faults;
+    }
     ++s.ops;
     s.total_cycles += 1;
     s.comb_energy_fj += power_.dynamic_energy_fj(op.switched_cap_ff);
@@ -194,6 +263,8 @@ RunStats FixedLatencySystem::run(std::span<const OpTrace> trace,
     s.avg_cycles = 1.0;
     s.avg_latency_ps = period_ps;
     s.one_cycle_ratio = 1.0;
+    s.sdc_per_10k_ops = static_cast<double>(s.sdc_ops) * 10000.0 /
+                        static_cast<double>(s.ops);
     s.avg_power_mw = s.total_energy_fj / total_time_ps;
     s.edp_mw_ns2 =
         energy_delay_product(s.avg_power_mw, s.avg_latency_ps * 1e-3);

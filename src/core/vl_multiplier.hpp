@@ -6,6 +6,7 @@
 
 #include "src/core/ahl.hpp"
 #include "src/core/razor.hpp"
+#include "src/fault/fault.hpp"
 #include "src/multiplier/multiplier.hpp"
 #include "src/power/power.hpp"
 #include "src/workload/patterns.hpp"
@@ -21,18 +22,40 @@ namespace agingsim {
 struct OpTrace {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
-  std::uint64_t product = 0;
+  std::uint64_t product = 0;      ///< product the netlist settled to
+  std::uint64_t golden = 0;       ///< reference a*b (== product unless faulted)
   double delay_ps = 0.0;          ///< settled output delay of this transition
   double switched_cap_ff = 0.0;   ///< combinational switched capacitance
   int in_toggles = 0;             ///< operand bits that changed vs prev op
   int out_toggles = 0;            ///< product bits that changed vs prev op
+  bool correct = true;            ///< product == golden
+  bool fault_active = false;      ///< a fault overlay could affect this op
+
+  friend bool operator==(const OpTrace&, const OpTrace&) = default;
+};
+
+/// Options for `compute_op_trace`.
+struct TraceOptions {
+  /// Per-gate aging delay overlay (empty = fresh circuit).
+  std::span<const double> gate_delay_scale = {};
+  /// Fault overlay injected for the whole trace (nullptr = fault-free). With
+  /// faults installed, golden-check mismatches are *recorded* per op
+  /// (`OpTrace::correct`) instead of thrown — wrong products are the very
+  /// thing a fault campaign measures.
+  const FaultOverlay* faults = nullptr;
 };
 
 /// Runs the gate-level simulator over `patterns` and returns the per-op
 /// trace. Every product is checked against the golden reference multiply;
-/// a mismatch throws std::logic_error (the trace generator doubles as an
-/// end-to-end correctness oracle). `gate_delay_scale` is the aging overlay
-/// (empty = fresh circuit).
+/// without a fault overlay a mismatch throws std::logic_error carrying the
+/// pattern index, operands and expected/actual products (the trace
+/// generator doubles as an end-to-end correctness oracle).
+std::vector<OpTrace> compute_op_trace(const MultiplierNetlist& mult,
+                                      const TechLibrary& tech,
+                                      std::span<const OperandPattern> patterns,
+                                      const TraceOptions& options);
+
+/// Back-compat convenience: aging overlay only, throwing golden check.
 std::vector<OpTrace> compute_op_trace(
     const MultiplierNetlist& mult, const TechLibrary& tech,
     std::span<const OperandPattern> patterns,
@@ -47,7 +70,11 @@ double critical_path_ps(const MultiplierNetlist& mult, const TechLibrary& tech,
 struct VlSystemConfig {
   double period_ps = 900.0;  ///< system cycle period
   AhlConfig ahl{};           ///< skip number, adaptivity, indicator window
-  RazorConfig razor{};       ///< shadow window, re-execution penalty
+  RazorConfig razor{};       ///< shadow window, re-exec penalty, escape model
+  /// Seed for the Razor metastability-escape draws. Every `run()` restarts
+  /// from this seed, so runs over identical traces are bit-reproducible.
+  /// Irrelevant with the default ideal detector (metastability window 0).
+  std::uint64_t razor_seed = 0xAC1D5EEDULL;
 };
 
 /// Aggregate results of running an operation stream through a system model.
@@ -57,8 +84,24 @@ struct RunStats {
   std::uint64_t two_cycle_ops = 0;   ///< issued as two cycles by the AHL
   std::uint64_t errors = 0;          ///< Razor-detected timing violations
   std::uint64_t undetected = 0;      ///< violations outside the shadow window
+  /// In-window violations the error comparator missed (metastability escape
+  /// — see RazorConfig::metastability_window_ps). Always 0 with the default
+  /// ideal detector.
+  std::uint64_t razor_escapes = 0;
+  /// Operations that committed a wrong product (silent data corruption):
+  /// functional faults Razor cannot see, plus undetected/escaped timing
+  /// violations. The fault-free architectural contract keeps this at 0.
+  std::uint64_t sdc_ops = 0;
+  /// Fault-exposed operations that still committed the correct product with
+  /// no Razor intervention (logically or architecturally masked faults).
+  std::uint64_t masked_faults = 0;
   std::uint64_t total_cycles = 0;
   bool switched_to_second_block = false;
+
+  /// Error-storm graceful degradation (AhlConfig::storm_fallback).
+  std::uint64_t storm_engagements = 0;
+  std::uint64_t storm_recoveries = 0;
+  std::uint64_t storm_ops = 0;       ///< ops issued while the fallback held
 
   double period_ps = 0.0;
   double avg_cycles = 0.0;
@@ -66,6 +109,7 @@ struct RunStats {
   double one_cycle_ratio = 0.0;
   /// Errors normalized to the paper's "error count in 10000 cycles" figures.
   double errors_per_10k_ops = 0.0;
+  double sdc_per_10k_ops = 0.0;
 
   double total_energy_fj = 0.0;
   double comb_energy_fj = 0.0;

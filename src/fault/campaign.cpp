@@ -1,0 +1,148 @@
+#include "src/fault/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace agingsim {
+
+FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
+                                       int stride) {
+  if (stride < 1) {
+    throw std::invalid_argument(
+        "output_cone_delay_overlay: stride must be >= 1");
+  }
+  FaultOverlay overlay(netlist.num_gates());
+  const auto outs = netlist.output_nets();
+  for (std::size_t i = 0; i < outs.size();
+       i += static_cast<std::size_t>(stride)) {
+    const std::int32_t driver = netlist.driver_of(outs[i]);
+    if (driver < 0) continue;  // output fed directly by a primary input
+    overlay.add({.kind = FaultKind::kDelayOutlier,
+                 .gate = static_cast<GateId>(driver),
+                 .delay_factor = factor});
+  }
+  return overlay;
+}
+
+double delay_percentile_ps(std::span<const OpTrace> trace, double q) {
+  if (trace.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("delay_percentile_ps: q must be in [0, 1]");
+  }
+  std::vector<double> delays;
+  delays.reserve(trace.size());
+  for (const OpTrace& op : trace) delays.push_back(op.delay_ps);
+  std::sort(delays.begin(), delays.end());
+  const std::size_t idx = std::min(
+      delays.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(delays.size())));
+  return delays[idx];
+}
+
+double max_delay_ps(std::span<const OpTrace> trace) {
+  double max = 0.0;
+  for (const OpTrace& op : trace) max = std::max(max, op.delay_ps);
+  return max;
+}
+
+FaultCampaign::FaultCampaign(const MultiplierNetlist& mult,
+                             const TechLibrary& tech, VlSystemConfig system,
+                             FaultCampaignConfig config)
+    : mult_(&mult), tech_(&tech), system_(system), config_(config) {
+  if (config.trials < 1) {
+    throw std::invalid_argument("FaultCampaign: trials must be >= 1");
+  }
+  if (config.sites_per_trial < 1) {
+    throw std::invalid_argument(
+        "FaultCampaign: sites_per_trial must be >= 1");
+  }
+  if (config.kind == FaultKind::kDelayOutlier &&
+      !(config.delay_factor > 0.0)) {
+    throw std::invalid_argument("FaultCampaign: delay factor must be > 0");
+  }
+}
+
+FaultOverlay FaultCampaign::sample_overlay(Rng& rng,
+                                           std::size_t num_ops) const {
+  const std::size_t num_gates = mult_->netlist.num_gates();
+  FaultOverlay overlay(num_gates);
+  for (int i = 0; i < config_.sites_per_trial; ++i) {
+    FaultSite site;
+    site.kind = config_.kind;
+    site.gate = static_cast<GateId>(rng.next_below(num_gates));
+    if (config_.kind == FaultKind::kTransient) {
+      // Skip cycle 0: the power-up step transitions every net from X, so a
+      // strike there is indistinguishable from initialization.
+      site.cycle = num_ops > 1
+                       ? 1 + static_cast<std::int64_t>(
+                                 rng.next_below(num_ops - 1))
+                       : 0;
+    } else if (config_.kind == FaultKind::kDelayOutlier) {
+      site.delay_factor = config_.delay_factor;
+    }
+    overlay.add(site);
+  }
+  return overlay;
+}
+
+FaultCampaignStats FaultCampaign::run(
+    std::span<const OperandPattern> patterns,
+    std::span<const double> gate_delay_scale, double mean_dvth_v) const {
+  FaultCampaignStats agg;
+  agg.kind = config_.kind;
+
+  // Fault-free reference run: the throughput and error-rate baseline the
+  // faulty runs are measured against.
+  const auto baseline_trace =
+      compute_op_trace(*mult_, *tech_, patterns, gate_delay_scale);
+  VariableLatencySystem system(*mult_, *tech_, system_);
+  const RunStats baseline = system.run(baseline_trace, mean_dvth_v);
+  agg.avg_cycles_baseline = baseline.avg_cycles;
+  agg.baseline_errors_per_10k_ops = baseline.errors_per_10k_ops;
+
+  Rng rng(config_.seed);
+  std::uint64_t total_cycles = 0;
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    const FaultOverlay overlay = sample_overlay(rng, patterns.size());
+    const auto faulty_trace = compute_op_trace(
+        *mult_, *tech_, patterns,
+        TraceOptions{.gate_delay_scale = gate_delay_scale,
+                     .faults = &overlay});
+    const RunStats s = system.run(faulty_trace, mean_dvth_v);
+
+    ++agg.trials;
+    agg.ops += s.ops;
+    agg.faults_injected += overlay.num_faults();
+    agg.detected_violations += s.errors;
+    agg.escaped_violations += s.razor_escapes;
+    agg.uncovered_violations += s.undetected;
+    agg.sdc_ops += s.sdc_ops;
+    agg.masked_faults += s.masked_faults;
+    if (s.sdc_ops > 0) ++agg.trials_with_sdc;
+    agg.storm_engagements += s.storm_engagements;
+    agg.storm_recoveries += s.storm_recoveries;
+    total_cycles += s.total_cycles;
+  }
+
+  const std::uint64_t violations = agg.detected_violations +
+                                   agg.escaped_violations +
+                                   agg.uncovered_violations;
+  agg.detection_coverage =
+      violations == 0 ? 1.0
+                      : static_cast<double>(agg.detected_violations) /
+                            static_cast<double>(violations);
+  if (agg.ops > 0) {
+    agg.sdc_per_10k_ops = static_cast<double>(agg.sdc_ops) * 10000.0 /
+                          static_cast<double>(agg.ops);
+    agg.avg_cycles_faulty =
+        static_cast<double>(total_cycles) / static_cast<double>(agg.ops);
+  }
+  if (agg.avg_cycles_baseline > 0.0) {
+    agg.throughput_degradation =
+        agg.avg_cycles_faulty / agg.avg_cycles_baseline - 1.0;
+  }
+  return agg;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/core/vl_multiplier.hpp"
+#include "src/fault/fault.hpp"
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+
+/// Configuration of one fault-injection campaign: `trials` independent
+/// injections of `sites_per_trial` faults of one kind, each replayed over
+/// the same operand stream through the full Razor + AHL architecture.
+struct FaultCampaignConfig {
+  FaultKind kind = FaultKind::kStuckAt0;
+  int trials = 20;
+  int sites_per_trial = 1;
+  /// Delay multiplier applied per faulted gate (kDelayOutlier only). A
+  /// moderate factor keeps faulted paths inside the Razor shadow window
+  /// (detectable); a large one pushes them past 2T (uncoverable — SDC).
+  double delay_factor = 4.0;
+  std::uint64_t seed = 0xFA17;
+};
+
+/// Aggregate results of a campaign. The three violation counters partition
+/// every timing violation seen across all trials by detector outcome; the
+/// SDC / masked counters classify the *architectural* outcome per op.
+struct FaultCampaignStats {
+  FaultKind kind = FaultKind::kStuckAt0;
+  std::uint64_t trials = 0;
+  std::uint64_t ops = 0;               ///< total ops across all trials
+  std::uint64_t faults_injected = 0;   ///< total fault sites across trials
+
+  std::uint64_t detected_violations = 0;   ///< Razor flagged + re-executed
+  std::uint64_t escaped_violations = 0;    ///< in-window metastability miss
+  std::uint64_t uncovered_violations = 0;  ///< settled past the shadow window
+  std::uint64_t sdc_ops = 0;               ///< wrong product committed
+  std::uint64_t masked_faults = 0;         ///< fault present, output correct
+  std::uint64_t trials_with_sdc = 0;
+  std::uint64_t storm_engagements = 0;
+  std::uint64_t storm_recoveries = 0;
+
+  /// detected / (detected + escaped + uncovered); 1.0 when no violations.
+  double detection_coverage = 1.0;
+  double sdc_per_10k_ops = 0.0;
+  double avg_cycles_faulty = 0.0;
+  double avg_cycles_baseline = 0.0;
+  /// avg_cycles_faulty / avg_cycles_baseline - 1: the throughput cost of
+  /// surviving the faults (re-execution penalties + storm fallback).
+  double throughput_degradation = 0.0;
+  double baseline_errors_per_10k_ops = 0.0;
+};
+
+/// Delay-outlier cluster on the multiplier's output cone: multiplies the
+/// delay of the driver gate of every `stride`-th primary output by
+/// `factor`. Unlike uniformly random sites — which mostly land off the
+/// short paths that one-cycle patterns exercise, precisely because the
+/// bypassing architecture keeps those paths shallow — every operation's
+/// path crosses this region, so the overlay reliably produces the error
+/// storms the AHL graceful-degradation fallback is designed for (modeling
+/// e.g. an aged final adder row or a slow voltage domain).
+FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
+                                       int stride = 2);
+
+/// q-th percentile (q in [0, 1]) of the per-op path delays; 0 for an empty
+/// trace. Used to pick demonstration periods with a known violation rate.
+double delay_percentile_ps(std::span<const OpTrace> trace, double q);
+
+/// Largest per-op path delay in the trace (0 for an empty trace). A period
+/// of at least half this keeps two-cycle issue sound even under delay
+/// faults.
+double max_delay_ps(std::span<const OpTrace> trace);
+
+/// Drives fault-injection campaigns against one multiplier + system config.
+/// Each trial samples fresh fault sites (seeded — campaigns are
+/// bit-reproducible), computes a faulty gate-level trace via a FaultOverlay
+/// (the shared netlist is never mutated) and replays it through a
+/// VariableLatencySystem.
+class FaultCampaign {
+ public:
+  FaultCampaign(const MultiplierNetlist& mult, const TechLibrary& tech,
+                VlSystemConfig system, FaultCampaignConfig config);
+
+  /// Samples the overlay for one trial (exposed for tests and custom
+  /// harnesses). `num_ops` bounds the transient cycles.
+  FaultOverlay sample_overlay(Rng& rng, std::size_t num_ops) const;
+
+  /// Runs the whole campaign over `patterns` with an optional aging overlay.
+  FaultCampaignStats run(std::span<const OperandPattern> patterns,
+                         std::span<const double> gate_delay_scale = {},
+                         double mean_dvth_v = 0.0) const;
+
+  const FaultCampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  const MultiplierNetlist* mult_;
+  const TechLibrary* tech_;
+  VlSystemConfig system_;
+  FaultCampaignConfig config_;
+};
+
+}  // namespace agingsim

@@ -85,6 +85,12 @@ class MultiplierSim {
     sim_.set_aging(gate_delay_scale);
   }
 
+  /// Installs (nullptr: removes) a fault overlay on the underlying
+  /// simulator; see TimingSim::set_fault_overlay.
+  void set_fault_overlay(const FaultOverlay* overlay) {
+    sim_.set_fault_overlay(overlay);
+  }
+
   const MultiplierNetlist& multiplier() const noexcept { return *mult_; }
   TimingSim& timing_sim() noexcept { return sim_; }
 

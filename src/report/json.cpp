@@ -1,0 +1,149 @@
+#include "src/report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::newline_indent() {
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::pre_value() {
+  if (!stack_.empty() && stack_.back() == 'o' && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside object needs a key");
+  }
+  if (!key_pending_) {
+    if (comma_pending_) out_.push_back(',');
+    if (!stack_.empty()) newline_indent();
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != 'o') {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: duplicate key call");
+  if (comma_pending_) out_.push_back(',');
+  newline_indent();
+  append_escaped(out_, name);
+  out_ += ": ";
+  key_pending_ = true;
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_.push_back('{');
+  stack_.push_back('o');
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != 'o' || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  stack_.pop_back();
+  if (comma_pending_) newline_indent();
+  out_.push_back('}');
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_.push_back('[');
+  stack_.push_back('a');
+  comma_pending_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a') {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  stack_.pop_back();
+  if (comma_pending_) newline_indent();
+  out_.push_back(']');
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out_ += buf;
+  }
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  comma_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  append_escaped(out_, v);
+  comma_pending_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unterminated containers");
+  }
+  return out_;
+}
+
+}  // namespace agingsim

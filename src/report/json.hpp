@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agingsim {
+
+/// Minimal streaming JSON emitter for machine-readable bench output
+/// (bench_fault_campaign et al.). Ordered, pretty-printed with two-space
+/// indentation; keys are emitted in call order. The caller is responsible
+/// for well-formedness (`key()` inside objects, balanced begin/end) —
+/// violations throw std::logic_error rather than emitting bad JSON.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  /// The finished document. Throws if containers are still open.
+  const std::string& str() const;
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<char> stack_;  // 'o' = object, 'a' = array
+  bool comma_pending_ = false;
+  bool key_pending_ = false;
+};
+
+}  // namespace agingsim

@@ -32,9 +32,25 @@ void TimingSim::set_aging(std::span<const double> gate_delay_scale) {
     throw std::invalid_argument(
         "TimingSim::set_aging: need one multiplier per gate");
   }
+  aging_scale_.assign(gate_delay_scale.begin(), gate_delay_scale.end());
+  rebuild_delays();
+}
+
+void TimingSim::set_fault_overlay(const FaultOverlay* overlay) {
+  if (overlay != nullptr && overlay->num_gates() != netlist_->num_gates()) {
+    throw std::invalid_argument(
+        "TimingSim::set_fault_overlay: overlay sized for a different "
+        "netlist");
+  }
+  overlay_ = overlay;
+  rebuild_delays();
+}
+
+void TimingSim::rebuild_delays() {
   for (GateId g = 0; g < netlist_->num_gates(); ++g) {
     double d = tech_->delay(netlist_->gate(g).kind);
-    if (!gate_delay_scale.empty()) d *= gate_delay_scale[g];
+    if (!aging_scale_.empty()) d *= aging_scale_[g];
+    if (overlay_ != nullptr) d *= overlay_->delay_factor(g);
     base_delay_ps_[g] = d;
   }
 }
@@ -101,8 +117,18 @@ StepResult TimingSim::step(std::span<const Logic> input_values) {
     for (std::size_t k = 0; k < ins.size(); ++k) in_vals[k] = value_[ins[k]];
 
     const Logic prev = value_[gate.out];
-    const Logic next =
-        eval_cell(gate.kind, {in_vals.data(), ins.size()}, prev);
+    Logic next = eval_cell(gate.kind, {in_vals.data(), ins.size()}, prev);
+    if (overlay_ != nullptr) {
+      // Fault overlay: a stuck-at forces the output unconditionally; a
+      // transient armed for this cycle inverts whatever would have settled
+      // (X stays X — a strike cannot conjure a known value).
+      const Logic stuck = overlay_->stuck_value(g);
+      if (stuck != Logic::kX) next = stuck;
+      if (overlay_->has_transients() &&
+          overlay_->transient_fires(g, step_index_)) {
+        next = logic_not(next);
+      }
+    }
 
     // Glitch/activity estimate for this gate, independent of whether the
     // *final* value changed.
@@ -249,6 +275,7 @@ StepResult TimingSim::step(std::span<const Logic> input_values) {
                                          arrival_[out]);
     }
   }
+  ++step_index_;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/fault/fault.hpp"
 #include "src/netlist/logic.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/netlist/techlib.hpp"
@@ -58,6 +59,22 @@ class TimingSim {
   /// Replaces the per-gate aging multipliers (empty = fresh circuit).
   void set_aging(std::span<const double> gate_delay_scale);
 
+  /// Installs (or, with nullptr, removes) a fault overlay. The overlay is
+  /// consulted during every subsequent `step()`: stuck-at faults force the
+  /// affected gate outputs, transients invert them on their armed cycle
+  /// (matched against `steps()`), and delay-outlier factors are folded into
+  /// the per-gate delays on top of the aging overlay. The shared netlist is
+  /// never mutated, so many simulators with different overlays can run over
+  /// one netlist concurrently. The overlay must outlive its installation.
+  /// Throws std::invalid_argument if the overlay was sized for a different
+  /// netlist.
+  void set_fault_overlay(const FaultOverlay* overlay);
+  const FaultOverlay* fault_overlay() const noexcept { return overlay_; }
+
+  /// Number of `step()` calls performed so far — the cycle count transient
+  /// faults are matched against.
+  std::int64_t steps() const noexcept { return step_index_; }
+
   /// Applies `input_values` (one per primary input, in input order) and
   /// settles the netlist. The first call establishes the power-up state (all
   /// nets transition from X); its timing numbers are still well defined.
@@ -78,9 +95,14 @@ class TimingSim {
   const Netlist& netlist() const noexcept { return *netlist_; }
 
  private:
+  void rebuild_delays();
+
   const Netlist* netlist_;
   const TechLibrary* tech_;
-  std::vector<double> base_delay_ps_;  // per gate, aging folded in
+  const FaultOverlay* overlay_ = nullptr;
+  std::int64_t step_index_ = 0;
+  std::vector<double> aging_scale_;    // per gate (possibly empty)
+  std::vector<double> base_delay_ps_;  // per gate, aging + faults folded in
   std::vector<double> cell_cap_ff_;    // per gate
   std::vector<Logic> value_;           // per net
   std::vector<double> arrival_;        // per net, valid when changed_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace agingsim {
 namespace {
 
@@ -66,6 +68,79 @@ TEST(AhlTest, SecondBlockReducesOneCycleFraction) {
     EXPECT_FALSE(a1 && !f1) << v;
   }
   EXPECT_LT(aged_ones, fresh_ones);
+}
+
+AhlConfig make_storm_config() {
+  AhlConfig c = make_config(16, 8, true);
+  c.storm_fallback = true;
+  c.storm_error_threshold = 0.10;  // 10 errors per 100-op window
+  c.storm_calm_windows = 2;
+  return c;
+}
+
+TEST(AhlStormTest, EngagesAsSoonAsTheWindowBudgetIsBlown) {
+  AdaptiveHoldLogic ahl(make_storm_config());
+  EXPECT_FALSE(ahl.storm_active());
+  for (int i = 0; i < 9; ++i) ahl.record_outcome(true);
+  EXPECT_FALSE(ahl.storm_active()) << "one error short of the budget";
+  ahl.record_outcome(true);
+  EXPECT_TRUE(ahl.storm_active());
+  EXPECT_EQ(ahl.storm_engagements(), 1u);
+  EXPECT_EQ(ahl.storm_recoveries(), 0u);
+  // Every pattern — even all-zeros — is forced to two cycles.
+  EXPECT_EQ(ahl.decide_cycles(0x0000), 2);
+  EXPECT_EQ(ahl.decide_cycles(0x00FF), 2);
+}
+
+TEST(AhlStormTest, RecoversAfterConsecutiveCalmWindows) {
+  AdaptiveHoldLogic ahl(make_storm_config());
+  for (int i = 0; i < 10; ++i) ahl.record_outcome(true);
+  ASSERT_TRUE(ahl.storm_active());
+  // Finish the stormy window (10 errors already recorded): not calm.
+  for (int i = 0; i < 90; ++i) ahl.record_outcome(false);
+  EXPECT_TRUE(ahl.storm_active());
+  // One calm window is not enough with storm_calm_windows = 2...
+  for (int i = 0; i < 100; ++i) ahl.record_outcome(false);
+  EXPECT_TRUE(ahl.storm_active());
+  // ...two consecutive calm windows disengage the fallback.
+  for (int i = 0; i < 100; ++i) ahl.record_outcome(false);
+  EXPECT_FALSE(ahl.storm_active());
+  EXPECT_EQ(ahl.storm_recoveries(), 1u);
+  // 0x007F has 9 zeros: one cycle under Skip-8 and Skip-9 alike, so normal
+  // judging is demonstrably back regardless of the aging indicator's state.
+  EXPECT_EQ(ahl.decide_cycles(0x007F), 1);
+}
+
+TEST(AhlStormTest, ReengagesWhileTheFaultPersists) {
+  AdaptiveHoldLogic ahl(make_storm_config());
+  for (int i = 0; i < 10; ++i) ahl.record_outcome(true);
+  for (int i = 0; i < 90; ++i) ahl.record_outcome(false);
+  for (int i = 0; i < 200; ++i) ahl.record_outcome(false);
+  ASSERT_FALSE(ahl.storm_active());
+  // The silicon is still bad: the next error burst re-engages the fallback.
+  for (int i = 0; i < 10; ++i) ahl.record_outcome(true);
+  EXPECT_TRUE(ahl.storm_active());
+  EXPECT_EQ(ahl.storm_engagements(), 2u);
+  EXPECT_EQ(ahl.storm_recoveries(), 1u);
+}
+
+TEST(AhlStormTest, DisabledByDefault) {
+  AdaptiveHoldLogic ahl(make_config(16, 8, true));
+  for (int i = 0; i < 1000; ++i) ahl.record_outcome(true);
+  EXPECT_FALSE(ahl.storm_active());
+  EXPECT_EQ(ahl.storm_engagements(), 0u);
+  EXPECT_EQ(ahl.storm_recoveries(), 0u);
+}
+
+TEST(AhlStormTest, InvalidStormConfigThrows) {
+  AhlConfig bad = make_storm_config();
+  bad.storm_error_threshold = 0.0;
+  EXPECT_THROW(AdaptiveHoldLogic{bad}, std::invalid_argument);
+  bad.storm_error_threshold = 1.5;
+  EXPECT_THROW(AdaptiveHoldLogic{bad}, std::invalid_argument);
+  bad = make_storm_config();
+  bad.storm_calm_windows = 0;
+  EXPECT_THROW(AdaptiveHoldLogic{bad}, std::invalid_argument);
 }
 
 TEST(AhlTest, ConfigIsExposed) {

@@ -1,0 +1,232 @@
+#include "src/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/vl_multiplier.hpp"
+#include "src/netlist/builder.hpp"
+#include "src/workload/patterns.hpp"
+
+namespace agingsim {
+namespace {
+
+TEST(FaultOverlayTest, RejectsInvalidSites) {
+  FaultOverlay overlay(10);
+  EXPECT_THROW(overlay.add({.kind = FaultKind::kStuckAt0, .gate = 10}),
+               std::invalid_argument);
+  EXPECT_THROW(overlay.add({.kind = FaultKind::kDelayOutlier,
+                            .gate = 0,
+                            .delay_factor = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(overlay.add({.kind = FaultKind::kDelayOutlier,
+                            .gate = 0,
+                            .delay_factor = -2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      overlay.add({.kind = FaultKind::kTransient, .gate = 0, .cycle = -1}),
+      std::invalid_argument);
+  EXPECT_EQ(overlay.num_faults(), 0u);
+}
+
+TEST(FaultOverlayTest, LookupSemantics) {
+  FaultOverlay overlay(8);
+  overlay.add({.kind = FaultKind::kStuckAt0, .gate = 1});
+  overlay.add({.kind = FaultKind::kStuckAt1, .gate = 2});
+  overlay.add(
+      {.kind = FaultKind::kDelayOutlier, .gate = 3, .delay_factor = 5.0});
+  overlay.add({.kind = FaultKind::kTransient, .gate = 4, .cycle = 7});
+
+  EXPECT_EQ(overlay.stuck_value(0), Logic::kX);
+  EXPECT_EQ(overlay.stuck_value(1), Logic::kZero);
+  EXPECT_EQ(overlay.stuck_value(2), Logic::kOne);
+  EXPECT_DOUBLE_EQ(overlay.delay_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(overlay.delay_factor(3), 5.0);
+  EXPECT_TRUE(overlay.has_delay_faults());
+  EXPECT_TRUE(overlay.has_transients());
+  EXPECT_TRUE(overlay.transient_fires(4, 7));
+  EXPECT_FALSE(overlay.transient_fires(4, 6));
+  EXPECT_FALSE(overlay.transient_fires(3, 7));
+  // Persistent faults are active on every cycle; the transient only arms
+  // cycle 7 (already covered by the persistent ones here).
+  EXPECT_TRUE(overlay.active_at(0));
+  EXPECT_TRUE(overlay.active_at(7));
+
+  FaultOverlay transient_only(8);
+  transient_only.add({.kind = FaultKind::kTransient, .gate = 4, .cycle = 7});
+  EXPECT_FALSE(transient_only.active_at(6));
+  EXPECT_TRUE(transient_only.active_at(7));
+  EXPECT_FALSE(transient_only.active_at(8));
+}
+
+TEST(FaultOverlayTest, LastStuckAtWins) {
+  FaultOverlay overlay(4);
+  overlay.add({.kind = FaultKind::kStuckAt0, .gate = 0});
+  overlay.add({.kind = FaultKind::kStuckAt1, .gate = 0});
+  EXPECT_EQ(overlay.stuck_value(0), Logic::kOne);
+}
+
+// Fixture: a 4x4 column-bypassing multiplier plus a small operand stream.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest()
+      : mult_(build_column_bypass_multiplier(4)),
+        tech_(default_tech_library()) {
+    Rng rng(99);
+    patterns_ = uniform_patterns(rng, 4, 200);
+  }
+
+  MultiplierNetlist mult_;
+  TechLibrary tech_;
+  std::vector<OperandPattern> patterns_;
+};
+
+TEST_F(FaultInjectionTest, OverlaySizeMustMatchNetlist) {
+  FaultOverlay wrong(mult_.netlist.num_gates() + 1);
+  EXPECT_THROW(compute_op_trace(mult_, tech_, patterns_,
+                                TraceOptions{.faults = &wrong}),
+               std::invalid_argument);
+}
+
+TEST_F(FaultInjectionTest, StuckAtCorruptsWithoutMutatingTheNetlist) {
+  // Stuck-at faults on output-cone drivers must corrupt at least some
+  // products; every op is marked fault-active and mismatches are recorded,
+  // not thrown.
+  FaultOverlay overlay(mult_.netlist.num_gates());
+  int sites = 0;
+  for (const NetId out : mult_.netlist.output_nets()) {
+    const std::int32_t driver = mult_.netlist.driver_of(out);
+    if (driver < 0) continue;
+    overlay.add({.kind = sites % 2 == 0 ? FaultKind::kStuckAt0
+                                        : FaultKind::kStuckAt1,
+                 .gate = static_cast<GateId>(driver)});
+    ++sites;
+  }
+  ASSERT_GT(sites, 0);
+
+  const auto faulty = compute_op_trace(mult_, tech_, patterns_,
+                                       TraceOptions{.faults = &overlay});
+  std::size_t wrong = 0;
+  for (const OpTrace& op : faulty) {
+    EXPECT_TRUE(op.fault_active);
+    EXPECT_EQ(op.golden, reference_multiply(op.a, op.b, 4));
+    EXPECT_EQ(op.correct, op.product == op.golden);
+    wrong += !op.correct;
+  }
+  EXPECT_GT(wrong, 0u);
+
+  // The same MultiplierNetlist, traced without the overlay, is pristine:
+  // injection happened in the simulator, never in the shared netlist.
+  const auto clean = compute_op_trace(mult_, tech_, patterns_);
+  for (const OpTrace& op : clean) {
+    EXPECT_TRUE(op.correct);
+    EXPECT_FALSE(op.fault_active);
+  }
+}
+
+TEST_F(FaultInjectionTest, TransientAffectsOnlyItsArmedCycle) {
+  // Flip the driver of product bit 0 on one mid-stream cycle: bit 0 of the
+  // product inverts, so the strike is observable at exactly that op.
+  const std::int32_t driver =
+      mult_.netlist.driver_of(mult_.netlist.output_nets()[0]);
+  ASSERT_GE(driver, 0);
+  const std::int64_t strike = 50;
+  FaultOverlay overlay(mult_.netlist.num_gates());
+  overlay.add({.kind = FaultKind::kTransient,
+               .gate = static_cast<GateId>(driver),
+               .cycle = strike});
+
+  const auto faulty = compute_op_trace(mult_, tech_, patterns_,
+                                       TraceOptions{.faults = &overlay});
+  const auto clean = compute_op_trace(mult_, tech_, patterns_);
+  ASSERT_EQ(faulty.size(), clean.size());
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    if (static_cast<std::int64_t>(i) == strike) {
+      EXPECT_TRUE(faulty[i].fault_active);
+      EXPECT_NE(faulty[i].product, clean[i].product);
+      EXPECT_FALSE(faulty[i].correct);
+    } else {
+      EXPECT_FALSE(faulty[i].fault_active);
+      // Products recover immediately after the strike (combinational
+      // netlist: no state to corrupt). Delays on cycle strike+1 may differ
+      // because the recovery adds a transition, so compare products only.
+      EXPECT_EQ(faulty[i].product, clean[i].product);
+      EXPECT_TRUE(faulty[i].correct);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, DelayOutlierSlowsOnlyWhileInstalled) {
+  FaultOverlay overlay(mult_.netlist.num_gates());
+  for (const NetId out : mult_.netlist.output_nets()) {
+    const std::int32_t driver = mult_.netlist.driver_of(out);
+    if (driver < 0) continue;
+    overlay.add({.kind = FaultKind::kDelayOutlier,
+                 .gate = static_cast<GateId>(driver),
+                 .delay_factor = 10.0});
+  }
+
+  const auto faulty = compute_op_trace(mult_, tech_, patterns_,
+                                       TraceOptions{.faults = &overlay});
+  const auto clean = compute_op_trace(mult_, tech_, patterns_);
+  double faulty_sum = 0.0, clean_sum = 0.0;
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    // Pure delay faults never change values.
+    EXPECT_EQ(faulty[i].product, clean[i].product);
+    EXPECT_TRUE(faulty[i].correct);
+    faulty_sum += faulty[i].delay_ps;
+    clean_sum += clean[i].delay_ps;
+  }
+  EXPECT_GT(faulty_sum, clean_sum);
+
+  // Removing the overlay restores the original delays exactly.
+  MultiplierSim sim(mult_, tech_);
+  sim.set_fault_overlay(&overlay);
+  sim.set_fault_overlay(nullptr);
+  double restored = 0.0;
+  for (const OperandPattern& pat : patterns_) {
+    restored += sim.apply(pat.a, pat.b).output_settle_ps;
+  }
+  EXPECT_DOUBLE_EQ(restored, clean_sum);
+}
+
+TEST(GoldenCheckTest, MismatchMessageCarriesTheEvidence) {
+  // A deliberately broken 2-bit "multiplier" (upper product bits tied to 0,
+  // p1 missing the a1&b0 term): the fault-free golden check must throw and
+  // the message must identify the failing pattern completely.
+  NetlistBuilder b;
+  const auto a = b.input_bus("a", 2);
+  const auto bb = b.input_bus("b", 2);
+  std::vector<NetId> p;
+  p.push_back(b.and2(a[0], bb[0]));
+  p.push_back(b.and2(a[0], bb[1]));
+  p.push_back(b.buf(b.zero()));
+  p.push_back(b.buf(b.zero()));
+  b.output_bus("p", p);
+  MultiplierNetlist broken{.netlist = b.netlist(),
+                           .arch = MultiplierArch::kArray,
+                           .width = 2,
+                           .a_first_input = 0,
+                           .b_first_input = 2};
+
+  TechLibrary tech = default_tech_library();
+  // Pattern 0 is fine (1*1 = 1); pattern 1 (3*2 = 6) exposes the break.
+  const std::vector<OperandPattern> pats = {{1, 1}, {3, 2}};
+  try {
+    compute_op_trace(broken, tech, pats);
+    FAIL() << "golden check did not throw";
+  } catch (const std::logic_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pattern index 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 * 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0x6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("netlist says 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("0x2"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace agingsim {
 namespace {
 
@@ -25,6 +27,46 @@ TEST(RazorTest, NarrowShadowWindow) {
                               .reexec_penalty_cycles = 3});
   EXPECT_TRUE(razor.detectable(1300.0, 900.0));
   EXPECT_FALSE(razor.detectable(1400.0, 900.0));
+}
+
+TEST(RazorTest, BoundaryAtExactlyThePeriodAndShadowWindowEdge) {
+  // delay == T is *not* a violation (the main flip-flop samples the settled
+  // value exactly at the edge); delay == T*(1+w) is still detectable (the
+  // shadow latch samples at the end of its window), one ulp past is not.
+  const double period = 900.0;
+  RazorBank razor(RazorConfig{.shadow_window_cycles = 1.0,
+                              .reexec_penalty_cycles = 3});
+  EXPECT_FALSE(RazorBank::violation(period, period));
+  EXPECT_TRUE(RazorBank::violation(std::nextafter(period, 2 * period), period));
+  const double edge = period * (1.0 + razor.config().shadow_window_cycles);
+  EXPECT_TRUE(razor.detectable(edge, period));
+  EXPECT_FALSE(razor.detectable(std::nextafter(edge, 2 * edge), period));
+  // At the exact shadow-window edge a violation is detected with certainty.
+  EXPECT_DOUBLE_EQ(razor.detection_probability(edge, period), 1.0);
+}
+
+TEST(RazorTest, DefaultDetectionProbabilityIsTheHardCutoff) {
+  // Metastability window 0 (the seed behaviour): every in-window violation
+  // is detected with probability exactly 1, everything past is 0.
+  RazorBank razor(RazorConfig{});
+  const double period = 900.0;
+  EXPECT_DOUBLE_EQ(razor.detection_probability(900.1, period), 1.0);
+  EXPECT_DOUBLE_EQ(razor.detection_probability(1800.0, period), 1.0);
+  EXPECT_DOUBLE_EQ(razor.detection_probability(1800.1, period), 0.0);
+}
+
+TEST(RazorTest, MetastabilityWindowRampsUpFromTheEdge) {
+  RazorBank razor(RazorConfig{.metastability_window_ps = 100.0,
+                              .edge_escape_prob = 0.5});
+  const double period = 900.0;
+  // At the clock edge: escape probability 0.5 -> detection 0.5; linear ramp
+  // to certainty at the end of the metastability window.
+  EXPECT_NEAR(razor.detection_probability(period + 1e-9, period), 0.5, 1e-6);
+  EXPECT_DOUBLE_EQ(razor.detection_probability(period + 50.0, period), 0.75);
+  EXPECT_DOUBLE_EQ(razor.detection_probability(period + 100.0, period), 1.0);
+  EXPECT_DOUBLE_EQ(razor.detection_probability(period + 500.0, period), 1.0);
+  // Past the shadow window the shadow latch itself is wrong: probability 0.
+  EXPECT_DOUBLE_EQ(razor.detection_probability(2 * period + 1.0, period), 0.0);
 }
 
 TEST(RazorTest, PenaltyIsConfigurable) {
