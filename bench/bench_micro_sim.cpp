@@ -1,88 +1,198 @@
-// Micro-benchmarks (google-benchmark) for the simulation substrate itself:
-// netlist generation, static timing, per-pattern simulation throughput, and
-// the architectural policy replay. These are the costs a user of the
-// library pays, independent of any paper figure.
+// Micro-benchmarks for the simulation substrate itself, reported as JSON on
+// stdout: netlist construction, static timing, per-pattern step-kernel
+// throughput (dense sweep vs sparse event-driven, with the evaluated-gate
+// fraction that explains the gap), the architectural policy replay, and
+// parallel sweep scaling across thread counts. This is the repo's perf
+// trajectory baseline — run it before and after touching the hot paths.
+//
+// Knobs: AGINGSIM_BENCH_OPS caps the per-config operation count (CI smoke
+// uses 500); thread scaling always measures explicit 1/2/4-lane pools, so
+// AGINGSIM_THREADS does not affect this binary's numbers.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.hpp"
-
-namespace {
+#include "src/report/json.hpp"
 
 using namespace agingsim;
 using namespace agingsim::bench;
 
-void BM_BuildMultiplier(benchmark::State& state) {
-  const auto arch = static_cast<MultiplierArch>(state.range(0));
-  const int width = static_cast<int>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(build_multiplier(arch, width));
-  }
-  state.SetLabel(std::string(arch_name(arch)) + " " + std::to_string(width) +
-                 "x" + std::to_string(width));
-}
-BENCHMARK(BM_BuildMultiplier)
-    ->Args({0, 16})
-    ->Args({1, 16})
-    ->Args({2, 16})
-    ->Args({1, 32});
+namespace {
 
-void BM_Sta(benchmark::State& state) {
-  const MultiplierNetlist m =
-      build_column_bypass_multiplier(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(critical_path_ps(m, tech()));
-  }
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_Sta)->Arg(16)->Arg(32);
 
-void BM_PatternSimulation(benchmark::State& state) {
-  const auto arch = static_cast<MultiplierArch>(state.range(0));
-  const int width = static_cast<int>(state.range(1));
-  const MultiplierNetlist m = build_multiplier(arch, width);
+/// Wall time of f() in ms, best of `reps` (first rep warms caches).
+template <typename F>
+double time_best_ms(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ms();
+    f();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
+
+struct KernelNumbers {
+  double steps_per_sec = 0.0;
+  double evaluated_fraction = 1.0;  // mean gates_evaluated / gates_total
+  std::uint64_t checksum = 0;       // xor of products: cross-kernel check
+};
+
+KernelNumbers run_kernel(const MultiplierNetlist& m, TimingSim::Mode mode,
+                         std::span<const OperandPattern> patterns) {
   MultiplierSim sim(m, tech());
-  Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim.apply(rng.next_bits(width), rng.next_bits(width)));
+  sim.set_mode(mode);
+  const std::size_t ops = patterns.size();
+  std::uint64_t evaluated = 0, total = 0, checksum = 0;
+  const double t0 = now_ms();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const StepResult s = sim.apply(patterns[i].a, patterns[i].b);
+    evaluated += s.gates_evaluated;
+    total += s.gates_total;
+    checksum ^= sim.product() + i;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-  state.SetLabel(std::string(arch_name(arch)) + " " + std::to_string(width) +
-                 "x" + std::to_string(width));
+  const double elapsed_ms = now_ms() - t0;
+  KernelNumbers out;
+  out.steps_per_sec =
+      elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(ops) / elapsed_ms : 0.0;
+  out.evaluated_fraction =
+      total > 0 ? static_cast<double>(evaluated) / static_cast<double>(total)
+                : 1.0;
+  out.checksum = checksum;
+  return out;
 }
-BENCHMARK(BM_PatternSimulation)
-    ->Args({0, 16})
-    ->Args({1, 16})
-    ->Args({2, 16})
-    ->Args({0, 32})
-    ->Args({1, 32})
-    ->Args({2, 32});
-
-void BM_PolicyReplay(benchmark::State& state) {
-  const MultiplierNetlist m = build_column_bypass_multiplier(16);
-  const auto trace = compute_op_trace(m, tech(), workload(16, 2000));
-  VlSystemConfig cfg;
-  cfg.period_ps = 900.0;
-  cfg.ahl.width = 16;
-  cfg.ahl.skip = 7;
-  VariableLatencySystem sys(m, tech(), cfg);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sys.run(trace));
-  }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * trace.size()));
-}
-BENCHMARK(BM_PolicyReplay);
-
-void BM_StressExtraction(benchmark::State& state) {
-  const MultiplierNetlist m = build_column_bypass_multiplier(16);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        estimate_stress(m.netlist, tech(), 1, 200));
-  }
-}
-BENCHMARK(BM_StressExtraction);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const std::size_t ops = default_ops();
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("micro_sim");
+  json.key("ops").value(static_cast<std::uint64_t>(ops));
+  json.key("hardware_threads")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  // --- Netlist construction -------------------------------------------
+  json.key("build_ms").begin_object();
+  const struct {
+    const char* label;
+    MultiplierArch arch;
+    int width;
+  } builds[] = {{"AM16", MultiplierArch::kArray, 16},
+                {"CB16", MultiplierArch::kColumnBypass, 16},
+                {"RB16", MultiplierArch::kRowBypass, 16},
+                {"CB32", MultiplierArch::kColumnBypass, 32}};
+  for (const auto& b : builds) {
+    json.key(b.label).value(time_best_ms(3, [&] {
+      const MultiplierNetlist m = build_multiplier(b.arch, b.width);
+      (void)m.netlist.num_gates();
+    }));
+  }
+  json.end_object();
+
+  // --- Static timing ---------------------------------------------------
+  {
+    const MultiplierNetlist cb32 = build_column_bypass_multiplier(32);
+    json.key("sta_cb32_ms").value(
+        time_best_ms(3, [&] { (void)critical_path_ps(cb32, tech()); }));
+  }
+
+  // --- Step kernel: dense sweep vs sparse event-driven -----------------
+  // Two operand streams per architecture: i.i.d. uniform (worst case for
+  // sparsity — nearly every gate glitches) and a FIR-tap stream (fixed
+  // coefficient x band-limited signal — the bypassing architectures' actual
+  // use case, where most of the array freezes).
+  json.key("kernel").begin_array();
+  for (const auto arch : {MultiplierArch::kArray, MultiplierArch::kColumnBypass,
+                          MultiplierArch::kRowBypass}) {
+    const MultiplierNetlist m = build_multiplier(arch, 16);
+    Rng uniform_rng(1), tap_rng(2);
+    const struct {
+      const char* label;
+      std::vector<OperandPattern> patterns;
+    } streams[] = {{"uniform", uniform_patterns(uniform_rng, 16, ops)},
+                   {"fir_tap", fir_tap_patterns(tap_rng, 16, ops)}};
+    for (const auto& stream : streams) {
+      const KernelNumbers dense =
+          run_kernel(m, TimingSim::Mode::kDense, stream.patterns);
+      const KernelNumbers sparse =
+          run_kernel(m, TimingSim::Mode::kSparse, stream.patterns);
+      json.begin_object();
+      json.key("multiplier").value(std::string(arch_name(arch)) + "16");
+      json.key("workload").value(stream.label);
+      json.key("gates").value(
+          static_cast<std::uint64_t>(m.netlist.num_gates()));
+      json.key("dense_steps_per_sec").value(dense.steps_per_sec);
+      json.key("sparse_steps_per_sec").value(sparse.steps_per_sec);
+      json.key("sparse_speedup")
+          .value(dense.steps_per_sec > 0.0
+                     ? sparse.steps_per_sec / dense.steps_per_sec
+                     : 0.0);
+      json.key("sparse_evaluated_gate_fraction")
+          .value(sparse.evaluated_fraction);
+      json.key("products_identical").value(dense.checksum == sparse.checksum);
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  // --- Policy replay ---------------------------------------------------
+  {
+    const MultiplierNetlist m = build_column_bypass_multiplier(16);
+    const auto trace = compute_op_trace(m, tech(), workload(16, ops));
+    VlSystemConfig cfg;
+    cfg.period_ps = 900.0;
+    cfg.ahl.width = 16;
+    cfg.ahl.skip = 7;
+    VariableLatencySystem sys(m, tech(), cfg);
+    const double ms = time_best_ms(3, [&] { (void)sys.run(trace); });
+    json.key("policy_replay_ops_per_sec")
+        .value(ms > 0.0 ? 1000.0 * static_cast<double>(trace.size()) / ms
+                        : 0.0);
+  }
+
+  // --- Parallel sweep scaling ------------------------------------------
+  {
+    const MultiplierNetlist m = build_column_bypass_multiplier(16);
+    const auto trace = compute_op_trace(m, tech(), workload(16, ops));
+    const auto periods = linspace(550.0, 1350.0, 8);
+
+    std::vector<RunStats> serial_result;
+    double serial_ms = 0.0;
+    json.key("sweep_scaling").begin_array();
+    for (const int threads : {1, 2, 4}) {
+      exec::ThreadPool pool(threads);
+      std::vector<RunStats> result;
+      const double ms = time_best_ms(2, [&] {
+        result = sweep_periods(m, trace, periods, 7, true, 0.0, &pool);
+      });
+      if (threads == 1) {
+        serial_result = result;
+        serial_ms = ms;
+      }
+      json.begin_object();
+      json.key("threads").value(threads);
+      json.key("sweep_ms").value(ms);
+      json.key("speedup_vs_serial").value(ms > 0.0 ? serial_ms / ms : 0.0);
+      json.key("identical_to_serial").value(result == serial_result);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "src/aging/scenario.hpp"
 #include "src/core/calibration.hpp"
 #include "src/core/vl_multiplier.hpp"
+#include "src/exec/thread_pool.hpp"
 #include "src/report/table.hpp"
 #include "src/workload/patterns.hpp"
 
@@ -45,7 +46,12 @@ inline std::size_t default_ops() {
 
 inline double ns(double ps) { return ps * 1e-3; }
 
+/// `points` evenly spaced values over [lo, hi], endpoints included. A
+/// single point degenerates to {lo} (not a 0/0 NaN); zero or negative
+/// point counts return an empty vector.
 inline std::vector<double> linspace(double lo, double hi, int points) {
+  if (points <= 0) return {};
+  if (points == 1) return {lo};
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {
@@ -55,23 +61,27 @@ inline std::vector<double> linspace(double lo, double hi, int points) {
   return out;
 }
 
-/// Runs a variable-latency system over `trace` at each period.
+/// Runs a variable-latency system over `trace` at each period — one
+/// independent simulator per sweep point, fanned out across `pool` (or a
+/// one-shot pool honoring AGINGSIM_THREADS when none is given). Results
+/// come back in period order and are byte-identical for any thread count.
 inline std::vector<RunStats> sweep_periods(
     const MultiplierNetlist& mult, std::span<const OpTrace> trace,
     std::span<const double> periods_ps, int skip, bool adaptive,
-    double mean_dvth_v = 0.0) {
-  std::vector<RunStats> out;
-  out.reserve(periods_ps.size());
-  for (double period : periods_ps) {
+    double mean_dvth_v = 0.0, exec::ThreadPool* pool = nullptr) {
+  const auto run_point = [&](std::size_t i) {
     VlSystemConfig cfg;
-    cfg.period_ps = period;
+    cfg.period_ps = periods_ps[i];
     cfg.ahl.width = mult.width;
     cfg.ahl.skip = skip;
     cfg.ahl.adaptive = adaptive;
     VariableLatencySystem sys(mult, tech(), cfg);
-    out.push_back(sys.run(trace, mean_dvth_v));
+    return sys.run(trace, mean_dvth_v);
+  };
+  if (pool != nullptr) {
+    return exec::parallel_for_indexed(*pool, periods_ps.size(), run_point);
   }
-  return out;
+  return exec::parallel_for_indexed(periods_ps.size(), run_point);
 }
 
 /// The three architectures at one width, with critical paths and gate-level

@@ -118,6 +118,10 @@ struct RunStats {
   double leakage_energy_fj = 0.0;
   double avg_power_mw = 0.0;
   double edp_mw_ns2 = 0.0;
+
+  /// Exact field-wise equality — used by the thread-count determinism
+  /// tests (N-thread sweeps must be byte-identical to serial ones).
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 /// The proposed aging-aware variable-latency multiplier system: bypassing

@@ -1,0 +1,137 @@
+#include "src/exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace agingsim::exec {
+namespace {
+
+// Set while a thread is executing pool work; nested for_each_index calls
+// from such a thread run inline instead of deadlocking on their own pool.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("AGINGSIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int lanes = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int t = 0; t < lanes - 1; ++t) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { worker_loop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // jthread destructors request_stop() and join; the stop token wakes any
+  // worker sleeping in work_cv_.wait.
+}
+
+void ThreadPool::run_indices(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    std::exception_ptr err;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    bool all_done;
+    {
+      std::lock_guard lk(mutex_);
+      if (err && !job.error) job.error = err;
+      all_done = (++job.completed == job.n);
+    }
+    if (all_done) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::stop_token stop) {
+  tls_in_pool_worker = true;
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lk(mutex_);
+      work_cv_.wait(lk, stop, [&] {
+        return job_ != nullptr && job_seq_ != seen_seq;
+      });
+      if (stop.stop_requested()) return;
+      job = job_;
+      seen_seq = job_seq_;
+      ++job->entered;
+    }
+    run_indices(*job);
+    bool quiescent;
+    {
+      std::lock_guard lk(mutex_);
+      ++job->exited;
+      quiescent = (job->exited == job->entered && job->completed == job->n);
+    }
+    if (quiescent) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_in_pool_worker) {
+    // Inline execution, same contract as the parallel path: every index is
+    // attempted, the first exception is rethrown at the end.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  {
+    std::unique_lock lk(mutex_);
+    // One job at a time; a second external submitter parks here until the
+    // current job is fully retired.
+    done_cv_.wait(lk, [&] { return job_ == nullptr; });
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  const bool was_worker = tls_in_pool_worker;
+  tls_in_pool_worker = true;  // make nested calls from fn run inline
+  run_indices(job);
+  tls_in_pool_worker = was_worker;
+
+  {
+    std::unique_lock lk(mutex_);
+    // Wait for completion AND for every worker that grabbed the job pointer
+    // to leave run_indices — `job` lives on this stack frame. Clearing job_
+    // under the same lock guarantees no late worker can enter afterwards.
+    done_cv_.wait(lk, [&] {
+      return job.completed == job.n && job.entered == job.exited;
+    });
+    job_ = nullptr;
+  }
+  done_cv_.notify_all();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace agingsim::exec

@@ -1,0 +1,100 @@
+#pragma once
+
+// Parallel sweep executor: a small std::jthread pool plus an index-ordered
+// parallel-for helper. This is the fan-out layer for embarrassingly
+// parallel sweeps — one simulator per period point, one simulator + fault
+// overlay per campaign trial, one simulator per aging-year point — which
+// the rest of the repo was already shaped for (shared netlists are never
+// mutated; every simulator owns its own state).
+//
+// Determinism contract: parallel_for_indexed returns results keyed by
+// index, never by completion order, so any run with any thread count
+// produces byte-identical output as long as each f(i) is itself
+// deterministic. AGINGSIM_THREADS=1 forces fully serial execution for CI
+// determinism checks; see docs/PERF.md.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace agingsim::exec {
+
+/// Number of execution lanes parallel regions use by default: the
+/// AGINGSIM_THREADS environment variable when it parses to an integer >= 1
+/// (1 = serial), otherwise std::thread::hardware_concurrency (minimum 1).
+/// Read per call, so tests can flip the variable between regions.
+int default_thread_count();
+
+/// A fixed-size worker pool. `threads` counts execution lanes including the
+/// calling thread, so ThreadPool(1) spawns nothing and runs inline and
+/// ThreadPool(4) spawns three std::jthreads. Workers sleep between jobs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads = default_thread_count());
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execution lanes (spawned workers + the calling thread).
+  int thread_count() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Invokes fn(i) exactly once for every i in [0, n), distributed over the
+  /// workers plus the calling thread, and blocks until all of them finished.
+  /// Every index is attempted even if one throws; the first exception is
+  /// rethrown after the region completes. Calls from inside a pool worker
+  /// (nesting) run inline; concurrent calls from distinct external threads
+  /// serialize. Indices are claimed dynamically, so callers must key any
+  /// output by index, never by completion order.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;  // finished indices; guarded by mutex_
+    int entered = 0;            // workers inside run_indices; guarded
+    int exited = 0;             // workers done with run_indices; guarded
+    std::exception_ptr error;   // first failure; guarded by mutex_
+  };
+
+  void worker_loop(std::stop_token stop);
+  void run_indices(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;           // guarded by mutex_
+  std::uint64_t job_seq_ = 0;    // guarded by mutex_
+  std::vector<std::jthread> workers_;
+};
+
+/// results[i] = f(i) for i in [0, n), computed on `pool` and returned in
+/// index order regardless of scheduling. The result type must be
+/// default-constructible.
+template <typename F>
+auto parallel_for_indexed(ThreadPool& pool, std::size_t n, F&& f)
+    -> std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> {
+  std::vector<std::decay_t<std::invoke_result_t<F&, std::size_t>>> out(n);
+  pool.for_each_index(n, [&](std::size_t i) { out[i] = f(i); });
+  return out;
+}
+
+/// Convenience overload running on a one-shot pool sized by
+/// default_thread_count() — i.e. honoring AGINGSIM_THREADS at every call.
+template <typename F>
+auto parallel_for_indexed(std::size_t n, F&& f) {
+  ThreadPool pool;
+  return parallel_for_indexed(pool, n, std::forward<F>(f));
+}
+
+}  // namespace agingsim::exec

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/exec/thread_pool.hpp"
+
 namespace agingsim {
 
 FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
@@ -101,16 +103,33 @@ FaultCampaignStats FaultCampaign::run(
   agg.avg_cycles_baseline = baseline.avg_cycles;
   agg.baseline_errors_per_10k_ops = baseline.errors_per_10k_ops;
 
+  // Overlay sampling draws from one shared Rng, so it stays serial (and
+  // bit-identical to the historical single-threaded campaign); the trials
+  // themselves are independent — each gets its own simulator + system over
+  // the shared, never-mutated netlist — and fan out across the pool.
   Rng rng(config_.seed);
-  std::uint64_t total_cycles = 0;
+  std::vector<FaultOverlay> overlays;
+  overlays.reserve(static_cast<std::size_t>(config_.trials));
   for (int trial = 0; trial < config_.trials; ++trial) {
-    const FaultOverlay overlay = sample_overlay(rng, patterns.size());
-    const auto faulty_trace = compute_op_trace(
-        *mult_, *tech_, patterns,
-        TraceOptions{.gate_delay_scale = gate_delay_scale,
-                     .faults = &overlay});
-    const RunStats s = system.run(faulty_trace, mean_dvth_v);
+    overlays.push_back(sample_overlay(rng, patterns.size()));
+  }
 
+  const std::vector<RunStats> trial_stats = exec::parallel_for_indexed(
+      overlays.size(), [&](std::size_t t) {
+        const auto faulty_trace = compute_op_trace(
+            *mult_, *tech_, patterns,
+            TraceOptions{.gate_delay_scale = gate_delay_scale,
+                         .faults = &overlays[t]});
+        VariableLatencySystem trial_system(*mult_, *tech_, system_);
+        return trial_system.run(faulty_trace, mean_dvth_v);
+      });
+
+  // Aggregation runs in trial-index order; every accumulator below is an
+  // integer, so the totals are independent of scheduling anyway.
+  std::uint64_t total_cycles = 0;
+  for (std::size_t t = 0; t < trial_stats.size(); ++t) {
+    const RunStats& s = trial_stats[t];
+    const FaultOverlay& overlay = overlays[t];
     ++agg.trials;
     agg.ops += s.ops;
     agg.faults_injected += overlay.num_faults();

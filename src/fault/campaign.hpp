@@ -50,6 +50,11 @@ struct FaultCampaignStats {
   /// surviving the faults (re-execution penalties + storm fallback).
   double throughput_degradation = 0.0;
   double baseline_errors_per_10k_ops = 0.0;
+
+  /// Exact field-wise equality — campaigns must be bit-reproducible across
+  /// thread counts (see tests/parallel_determinism_test.cpp).
+  friend bool operator==(const FaultCampaignStats&,
+                         const FaultCampaignStats&) = default;
 };
 
 /// Delay-outlier cluster on the multiplier's output cone: multiplies the

@@ -79,6 +79,17 @@ class FaultOverlay {
   bool transient_fires(GateId g, std::int64_t cycle) const noexcept;
   bool has_transients() const noexcept { return !transients_.empty(); }
 
+  /// True when any transient (on any gate) is armed for exactly `cycle`.
+  /// The sparse timing kernel falls back to a dense sweep on such cycles
+  /// (and the one after, which un-flips the struck gate), so transient
+  /// semantics never depend on worklist reachability.
+  bool transient_fires_on(std::int64_t cycle) const noexcept {
+    for (const FaultSite& t : transients_) {
+      if (t.cycle == cycle) return true;
+    }
+    return false;
+  }
+
   /// True when any fault can affect step `cycle`: persistent faults
   /// (stuck-at, delay outlier) are active on every cycle, transients only
   /// on their armed cycle. Drives the OpTrace::fault_active flag.

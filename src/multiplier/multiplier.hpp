@@ -85,6 +85,10 @@ class MultiplierSim {
     sim_.set_aging(gate_delay_scale);
   }
 
+  /// Selects the step kernel (sparse event-driven vs dense sweep); see
+  /// TimingSim::Mode. Results are bit-identical either way.
+  void set_mode(TimingSim::Mode mode) noexcept { sim_.set_mode(mode); }
+
   /// Installs (nullptr: removes) a fault overlay on the underlying
   /// simulator; see TimingSim::set_fault_overlay.
   void set_fault_overlay(const FaultOverlay* overlay) {

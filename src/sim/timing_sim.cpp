@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <stdexcept>
 
 namespace agingsim {
 namespace {
 
 constexpr double kInputCapFf = 1.0;  // driver + register output cap per PI
+
+// Transition-density weights: an edge on one input of a controlled gate
+// propagates when the other inputs sit at non-controlling values (weight
+// 1). A controlling value that changed this step blocks edges only after
+// it lands (weight kBlockedPass for the window before); one that was
+// already stable blocks essentially everything (kStableBlock). Unknowns
+// are ambiguous (0.5).
+constexpr float kBlockedPass = 0.2f;
+constexpr float kStableBlock = 0.02f;
+constexpr float kDensityClamp = 32.0f;
 
 }  // namespace
 
@@ -24,6 +35,8 @@ TimingSim::TimingSim(const Netlist& netlist, const TechLibrary& tech,
   arrival_.assign(netlist.num_nets(), 0.0);
   changed_.assign(netlist.num_nets(), 0);
   density_.assign(netlist.num_nets(), 0.0f);
+  net_epoch_.assign(netlist.num_nets(), 0);
+  queued_words_.assign((netlist.num_gates() + 63) / 64, 0);
 }
 
 void TimingSim::set_aging(std::span<const double> gate_delay_scale) {
@@ -34,6 +47,7 @@ void TimingSim::set_aging(std::span<const double> gate_delay_scale) {
   }
   aging_scale_.assign(gate_delay_scale.begin(), gate_delay_scale.end());
   rebuild_delays();
+  force_dense_ = true;
 }
 
 void TimingSim::set_fault_overlay(const FaultOverlay* overlay) {
@@ -44,6 +58,9 @@ void TimingSim::set_fault_overlay(const FaultOverlay* overlay) {
   }
   overlay_ = overlay;
   rebuild_delays();
+  // Installing or removing stuck-ats changes gate outputs without any fanin
+  // edge; only a full sweep re-establishes (or releases) them everywhere.
+  force_dense_ = true;
 }
 
 void TimingSim::rebuild_delays() {
@@ -67,210 +84,281 @@ void TimingSim::load_bus(std::span<Logic> pattern_buffer, std::uint64_t value,
   }
 }
 
+template <bool kOverlay, bool kTransient>
+bool TimingSim::evaluate_gate(GateId g, StepResult& result) {
+  const Netlist& nl = *netlist_;
+  const Gate& gate = nl.gate(g);
+  const auto ins = nl.gate_inputs(g);
+  std::array<Logic, 4> in_vals;
+  for (std::size_t k = 0; k < ins.size(); ++k) in_vals[k] = value_[ins[k]];
+
+  const Logic prev = value_[gate.out];
+  Logic next = eval_cell(gate.kind, {in_vals.data(), ins.size()}, prev);
+  if constexpr (kOverlay) {
+    // Fault overlay: a stuck-at forces the output unconditionally; a
+    // transient armed for this cycle inverts whatever would have settled
+    // (X stays X — a strike cannot conjure a known value).
+    const Logic stuck = overlay_->stuck_value(g);
+    if (stuck != Logic::kX) next = stuck;
+    if constexpr (kTransient) {
+      if (overlay_->transient_fires(g, step_index_)) next = logic_not(next);
+    }
+  }
+
+  const auto pass_weight = [this](NetId net, Logic v, Logic controlling) {
+    if (v == controlling) return net_changed(net) ? kBlockedPass : kStableBlock;
+    if (is_known(v)) return 1.0f;
+    return 0.5f;
+  };
+
+  // Glitch/activity estimate for this gate, independent of whether the
+  // *final* value changed. Every formula is linear in the input densities,
+  // so a gate whose fanin is entirely stable computes exactly 0 — which is
+  // what lets the sparse kernel skip it without changing any result.
+  float density = 0.0f;
+  switch (gate.kind) {
+    case CellKind::kBuf:
+    case CellKind::kInv:
+      density = net_density(ins[0]);
+      break;
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+      density = net_density(ins[0]) + net_density(ins[1]);
+      break;
+    case CellKind::kAnd2:
+    case CellKind::kNand2:
+    case CellKind::kOr2:
+    case CellKind::kNor2: {
+      const Logic ctrl = (gate.kind == CellKind::kAnd2 ||
+                          gate.kind == CellKind::kNand2)
+                             ? Logic::kZero
+                             : Logic::kOne;
+      density = net_density(ins[0]) * pass_weight(ins[1], in_vals[1], ctrl) +
+                net_density(ins[1]) * pass_weight(ins[0], in_vals[0], ctrl);
+      break;
+    }
+    case CellKind::kAnd3:
+    case CellKind::kOr3: {
+      const Logic ctrl =
+          (gate.kind == CellKind::kAnd3) ? Logic::kZero : Logic::kOne;
+      for (std::size_t k = 0; k < 3; ++k) {
+        float w = 1.0f;
+        for (std::size_t j = 0; j < 3; ++j) {
+          if (j != k) w *= pass_weight(ins[j], in_vals[j], ctrl);
+        }
+        density += net_density(ins[k]) * w;
+      }
+      break;
+    }
+    case CellKind::kMux2: {
+      const std::size_t sel_k = (in_vals[2] == Logic::kOne) ? 1u : 0u;
+      const float unselected =
+          net_changed(ins[2]) ? kBlockedPass : kStableBlock;
+      // Select edges reach the output only while the two data inputs
+      // disagree (a mux with equal data is select-insensitive — exact).
+      const float sel_visible = (in_vals[0] != in_vals[1]) ? 1.0f : 0.0f;
+      density = sel_visible * net_density(ins[2]) + net_density(ins[sel_k]) +
+                unselected * net_density(ins[1 - sel_k]);
+      break;
+    }
+    case CellKind::kTbuf:
+      if (in_vals[1] == Logic::kOne) {
+        // Enable edges matter only when the newly driven value differs
+        // from the kept one; count them at half weight.
+        density = net_density(ins[0]) + 0.5f * net_density(ins[1]);
+      } else {
+        // Disabled: the keeper is frozen; only the disable edge itself
+        // moves charge.
+        density = kBlockedPass * net_density(ins[1]);
+      }
+      break;
+    case CellKind::kTie0:
+    case CellKind::kTie1:
+    case CellKind::kCount:
+      break;
+  }
+
+  ++result.gates_evaluated;
+  if (next == prev) {
+    const float clamped = std::min(density, kDensityClamp);
+    if (clamped == 0.0f) return false;  // stable and glitch-free: inert
+    net_epoch_[gate.out] = epoch_;
+    changed_[gate.out] = 0;
+    density_[gate.out] = clamped;
+    result.switched_cap_ff += 0.5 * cell_cap_ff_[g] * clamped;
+    return true;
+  }
+  value_[gate.out] = next;
+  net_epoch_[gate.out] = epoch_;
+  changed_[gate.out] = 1;
+  if (is_known(prev) && is_known(next)) {
+    ++result.toggles;
+    if (density < 1.0f) density = 1.0f;  // the real toggle is an edge too
+  }
+  density_[gate.out] = std::min(density, kDensityClamp);
+  result.switched_cap_ff += 0.5 * cell_cap_ff_[g] * density_[gate.out];
+
+  // Sensitized arrival: earliest controlling input when the new value is
+  // the controlled one, otherwise latest changed input. Stable inputs
+  // contribute arrival 0 (they were settled before the step began).
+  const auto in_arr = [&](std::size_t k) {
+    return net_changed(ins[k]) ? arrival_[ins[k]] : 0.0;
+  };
+  double arr = 0.0;
+  Logic ctrl = Logic::kX;  // controlling input value, if the kind has one
+  bool ctrl_makes_out = false;
+  switch (gate.kind) {
+    case CellKind::kAnd2:
+    case CellKind::kAnd3:
+      ctrl = Logic::kZero;
+      ctrl_makes_out = (next == Logic::kZero);
+      break;
+    case CellKind::kNand2:
+      ctrl = Logic::kZero;
+      ctrl_makes_out = (next == Logic::kOne);
+      break;
+    case CellKind::kOr2:
+    case CellKind::kOr3:
+      ctrl = Logic::kOne;
+      ctrl_makes_out = (next == Logic::kOne);
+      break;
+    case CellKind::kNor2:
+      ctrl = Logic::kOne;
+      ctrl_makes_out = (next == Logic::kZero);
+      break;
+    default:
+      break;
+  }
+  if (ctrl_makes_out) {
+    // Earliest input holding the controlling value decides the output.
+    double best = -1.0;
+    for (std::size_t k = 0; k < ins.size(); ++k) {
+      if (in_vals[k] == ctrl) {
+        const double a = in_arr(k);
+        if (best < 0.0 || a < best) best = a;
+      }
+    }
+    arr = best < 0.0 ? 0.0 : best;
+  } else if (gate.kind == CellKind::kMux2) {
+    const Logic sel = in_vals[2];
+    const std::size_t data_k = (sel == Logic::kOne) ? 1u : 0u;
+    arr = in_arr(data_k);
+    if (net_changed(ins[2])) arr = std::max(arr, in_arr(2));
+  } else if (gate.kind == CellKind::kTbuf) {
+    // Only reached when enabled (disabled TBUF holds => next == prev).
+    arr = std::max(in_arr(0), in_arr(1));
+  } else {
+    // Non-controlled settle: latest changed input.
+    for (std::size_t k = 0; k < ins.size(); ++k) {
+      if (net_changed(ins[k])) arr = std::max(arr, in_arr(k));
+    }
+  }
+  arrival_[gate.out] = arr + base_delay_ps_[g];
+  result.settle_ps = std::max(result.settle_ps, arrival_[gate.out]);
+  return true;
+}
+
+template <bool kOverlay, bool kTransient>
+void TimingSim::run_dense(StepResult& result) {
+  const GateId n = static_cast<GateId>(netlist_->num_gates());
+  for (GateId g = 0; g < n; ++g) {
+    evaluate_gate<kOverlay, kTransient>(g, result);
+  }
+}
+
+template <bool kOverlay>
+void TimingSim::run_sparse(StepResult& result) {
+  const Netlist& nl = *netlist_;
+  const Netlist::FanoutView fan = nl.fanout_view();
+  // Pop queued gates lowest-id-first via the worklist bitmap, re-reading
+  // each word after every pop: a consumer enqueued while draining always
+  // has a larger id than the gate being processed (consumers are created
+  // after their drivers), so it lands at the cursor or ahead of it. That
+  // ascending-id schedule is both topologically valid and exactly the dense
+  // kernel's floating-point accumulation order for switched_cap_ff — hence
+  // bit-identical results. Bits are cleared as they are popped, leaving the
+  // bitmap all-zero for the next step.
+  for (std::size_t w = queued_min_word_;
+       w <= queued_max_word_ && w < queued_words_.size(); ++w) {
+    while (queued_words_[w] != 0) {
+      const std::uint64_t bits = queued_words_[w];
+      queued_words_[w] = bits & (bits - 1);  // clear lowest set bit
+      const GateId g =
+          static_cast<GateId>((w << 6) | std::countr_zero(bits));
+      if (evaluate_gate<kOverlay, false>(g, result)) {
+        const NetId out = nl.gate(g).out;
+        for (std::uint32_t k = fan.begin[out]; k < fan.begin[out + 1]; ++k) {
+          enqueue(fan.consumers[k]);
+        }
+      }
+    }
+  }
+}
+
 StepResult TimingSim::step(std::span<const Logic> input_values) {
   const Netlist& nl = *netlist_;
   if (input_values.size() != nl.num_inputs()) {
     throw std::invalid_argument("TimingSim::step: wrong input count");
   }
   StepResult result;
+  result.gates_total = nl.num_gates();
+  ++epoch_;
+  queued_min_word_ = queued_words_.size();
+  queued_max_word_ = 0;
+
+  // A transient strike forces a value with no fanin edge, and the next step
+  // must un-flip it the same way — both run dense.
+  const bool transient_now = overlay_ != nullptr &&
+                             overlay_->has_transients() &&
+                             overlay_->transient_fires_on(step_index_);
+  const bool transient_cleanup = overlay_ != nullptr &&
+                                 overlay_->has_transients() &&
+                                 overlay_->transient_fires_on(step_index_ - 1);
+  const bool dense = mode_ == Mode::kDense || force_dense_ || transient_now ||
+                     transient_cleanup;
 
   // Apply primary inputs (all input transitions land at t = 0). A changed
-  // input seeds one transition of density.
+  // input seeds one transition of density; unchanged inputs are simply not
+  // stamped with this epoch, which downstream reads as stable/zero.
+  const Netlist::FanoutView fan =
+      dense ? Netlist::FanoutView{} : nl.fanout_view();
   const auto input_nets = nl.input_nets();
   for (std::size_t i = 0; i < input_nets.size(); ++i) {
     const NetId net = input_nets[i];
     const Logic nv = input_values[i];
-    if (nv != value_[net]) {
-      value_[net] = nv;
-      arrival_[net] = 0.0;
-      changed_[net] = 1;
-      density_[net] = 1.0f;
-      if (is_known(nv)) result.switched_cap_ff += kInputCapFf;
-    } else {
-      changed_[net] = 0;
-      density_[net] = 0.0f;
+    if (nv == value_[net]) continue;
+    value_[net] = nv;
+    arrival_[net] = 0.0;
+    net_epoch_[net] = epoch_;
+    changed_[net] = 1;
+    density_[net] = 1.0f;
+    if (is_known(nv)) result.switched_cap_ff += kInputCapFf;
+    if (!dense) {
+      for (std::uint32_t k = fan.begin[net]; k < fan.begin[net + 1]; ++k) {
+        enqueue(fan.consumers[k]);
+      }
     }
   }
 
-  // One topological pass. The netlist's construction order is topological,
-  // so a single forward sweep settles everything.
-  //
-  // Transition-density weights: an edge on one input of a controlled gate
-  // propagates when the other inputs sit at non-controlling values (weight
-  // 1). A controlling value that changed this step blocks edges only after
-  // it lands (weight kBlockedPass for the window before); one that was
-  // already stable blocks essentially everything (kStableBlock). Unknowns
-  // are ambiguous (0.5).
-  constexpr float kBlockedPass = 0.2f;
-  constexpr float kStableBlock = 0.02f;
-  constexpr float kDensityClamp = 32.0f;
-  const auto pass_weight = [this](NetId net, Logic v, Logic controlling) {
-    if (v == controlling) return changed_[net] ? kBlockedPass : kStableBlock;
-    if (is_known(v)) return 1.0f;
-    return 0.5f;
-  };
-
-  std::array<Logic, 4> in_vals;
-  for (GateId g = 0; g < nl.num_gates(); ++g) {
-    const Gate& gate = nl.gate(g);
-    const auto ins = nl.gate_inputs(g);
-    for (std::size_t k = 0; k < ins.size(); ++k) in_vals[k] = value_[ins[k]];
-
-    const Logic prev = value_[gate.out];
-    Logic next = eval_cell(gate.kind, {in_vals.data(), ins.size()}, prev);
+  if (dense) {
     if (overlay_ != nullptr) {
-      // Fault overlay: a stuck-at forces the output unconditionally; a
-      // transient armed for this cycle inverts whatever would have settled
-      // (X stays X — a strike cannot conjure a known value).
-      const Logic stuck = overlay_->stuck_value(g);
-      if (stuck != Logic::kX) next = stuck;
-      if (overlay_->has_transients() &&
-          overlay_->transient_fires(g, step_index_)) {
-        next = logic_not(next);
+      if (transient_now) {
+        run_dense<true, true>(result);
+      } else {
+        run_dense<true, false>(result);
       }
-    }
-
-    // Glitch/activity estimate for this gate, independent of whether the
-    // *final* value changed.
-    float density = 0.0f;
-    switch (gate.kind) {
-      case CellKind::kBuf:
-      case CellKind::kInv:
-        density = density_[ins[0]];
-        break;
-      case CellKind::kXor2:
-      case CellKind::kXnor2:
-        density = density_[ins[0]] + density_[ins[1]];
-        break;
-      case CellKind::kAnd2:
-      case CellKind::kNand2:
-      case CellKind::kOr2:
-      case CellKind::kNor2: {
-        const Logic ctrl = (gate.kind == CellKind::kAnd2 ||
-                            gate.kind == CellKind::kNand2)
-                               ? Logic::kZero
-                               : Logic::kOne;
-        density = density_[ins[0]] * pass_weight(ins[1], in_vals[1], ctrl) +
-                  density_[ins[1]] * pass_weight(ins[0], in_vals[0], ctrl);
-        break;
-      }
-      case CellKind::kAnd3:
-      case CellKind::kOr3: {
-        const Logic ctrl =
-            (gate.kind == CellKind::kAnd3) ? Logic::kZero : Logic::kOne;
-        for (std::size_t k = 0; k < 3; ++k) {
-          float w = 1.0f;
-          for (std::size_t j = 0; j < 3; ++j) {
-            if (j != k) w *= pass_weight(ins[j], in_vals[j], ctrl);
-          }
-          density += density_[ins[k]] * w;
-        }
-        break;
-      }
-      case CellKind::kMux2: {
-        const std::size_t sel_k = (in_vals[2] == Logic::kOne) ? 1u : 0u;
-        const float unselected =
-            changed_[ins[2]] ? kBlockedPass : kStableBlock;
-        // Select edges reach the output only while the two data inputs
-        // disagree (a mux with equal data is select-insensitive — exact).
-        const float sel_visible = (in_vals[0] != in_vals[1]) ? 1.0f : 0.0f;
-        density = sel_visible * density_[ins[2]] + density_[ins[sel_k]] +
-                  unselected * density_[ins[1 - sel_k]];
-        break;
-      }
-      case CellKind::kTbuf:
-        if (in_vals[1] == Logic::kOne) {
-          // Enable edges matter only when the newly driven value differs
-          // from the kept one; count them at half weight.
-          density = density_[ins[0]] + 0.5f * density_[ins[1]];
-        } else {
-          // Disabled: the keeper is frozen; only the disable edge itself
-          // moves charge.
-          density = kBlockedPass * density_[ins[1]];
-        }
-        break;
-      case CellKind::kTie0:
-      case CellKind::kTie1:
-      case CellKind::kCount:
-        break;
-    }
-
-    if (next == prev) {
-      changed_[gate.out] = 0;
-      density_[gate.out] = std::min(density, kDensityClamp);
-      result.switched_cap_ff += 0.5 * cell_cap_ff_[g] * density_[gate.out];
-      continue;
-    }
-    value_[gate.out] = next;
-    changed_[gate.out] = 1;
-    if (is_known(prev) && is_known(next)) {
-      ++result.toggles;
-      if (density < 1.0f) density = 1.0f;  // the real toggle is an edge too
-    }
-    density_[gate.out] = std::min(density, kDensityClamp);
-    result.switched_cap_ff += 0.5 * cell_cap_ff_[g] * density_[gate.out];
-
-    // Sensitized arrival: earliest controlling input when the new value is
-    // the controlled one, otherwise latest changed input. Stable inputs
-    // contribute arrival 0 (they were settled before the step began).
-    const auto in_arr = [&](std::size_t k) {
-      return changed_[ins[k]] ? arrival_[ins[k]] : 0.0;
-    };
-    double arr = 0.0;
-    Logic ctrl = Logic::kX;  // controlling input value, if the kind has one
-    bool ctrl_makes_out = false;
-    switch (gate.kind) {
-      case CellKind::kAnd2:
-      case CellKind::kAnd3:
-        ctrl = Logic::kZero;
-        ctrl_makes_out = (next == Logic::kZero);
-        break;
-      case CellKind::kNand2:
-        ctrl = Logic::kZero;
-        ctrl_makes_out = (next == Logic::kOne);
-        break;
-      case CellKind::kOr2:
-      case CellKind::kOr3:
-        ctrl = Logic::kOne;
-        ctrl_makes_out = (next == Logic::kOne);
-        break;
-      case CellKind::kNor2:
-        ctrl = Logic::kOne;
-        ctrl_makes_out = (next == Logic::kZero);
-        break;
-      default:
-        break;
-    }
-    if (ctrl_makes_out) {
-      // Earliest input holding the controlling value decides the output.
-      double best = -1.0;
-      for (std::size_t k = 0; k < ins.size(); ++k) {
-        if (in_vals[k] == ctrl) {
-          const double a = in_arr(k);
-          if (best < 0.0 || a < best) best = a;
-        }
-      }
-      arr = best < 0.0 ? 0.0 : best;
-    } else if (gate.kind == CellKind::kMux2) {
-      const Logic sel = in_vals[2];
-      const std::size_t data_k = (sel == Logic::kOne) ? 1u : 0u;
-      arr = in_arr(data_k);
-      if (changed_[ins[2]]) arr = std::max(arr, in_arr(2));
-    } else if (gate.kind == CellKind::kTbuf) {
-      // Only reached when enabled (disabled TBUF holds => next == prev).
-      arr = std::max(in_arr(0), in_arr(1));
     } else {
-      // Non-controlled settle: latest changed input.
-      for (std::size_t k = 0; k < ins.size(); ++k) {
-        if (changed_[ins[k]]) arr = std::max(arr, in_arr(k));
-      }
+      run_dense<false, false>(result);
     }
-    arrival_[gate.out] = arr + base_delay_ps_[g];
-    result.settle_ps = std::max(result.settle_ps, arrival_[gate.out]);
+    force_dense_ = false;
+  } else if (overlay_ != nullptr) {
+    run_sparse<true>(result);
+  } else {
+    run_sparse<false>(result);
   }
 
   for (NetId out : nl.output_nets()) {
-    if (changed_[out]) {
+    if (net_changed(out)) {
       result.output_settle_ps = std::max(result.output_settle_ps,
                                          arrival_[out]);
     }

@@ -60,14 +60,42 @@ std::vector<OperandPattern> dsp_patterns(Rng& rng, int width,
                                  : ((std::uint64_t{1} << width) - 1);
   // Random-walk signal confined to the low half of the range; coefficients
   // cycle through a small fixed bank, as a FIR kernel would.
+  const std::uint64_t half_mask = mask >> (width / 2);
   std::uint64_t signal = rng.next_bits(width / 2);
   std::uint64_t coeffs[8];
   for (auto& c : coeffs) c = rng.next_bits(width);
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t step = rng.next_below(1 + (mask >> (width / 2)));
-    signal = (rng.next() & 1) ? (signal + step) & (mask >> (width / 2))
-                              : (signal - step) & (mask >> (width / 2));
+    const std::uint64_t step = rng.next_below(1 + half_mask);
+    signal = (rng.next() & 1) ? (signal + step) & half_mask
+                              : (signal - step) & half_mask;
     out.push_back({signal, coeffs[i % 8]});
+  }
+  return out;
+}
+
+std::vector<OperandPattern> fir_tap_patterns(Rng& rng, int width,
+                                             std::size_t count) {
+  std::vector<OperandPattern> out;
+  out.reserve(count);
+  const std::uint64_t half_mask =
+      (width >= 64 ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << width) - 1)) >>
+      (width / 2);
+  // Band-limited signal: steps bounded to 1/16 of the signal range keep
+  // consecutive samples close, as a low-pass-filtered input would. The
+  // circuit is clocked faster than the sample rate (an oversampled MAC), so
+  // each sample is held at the multiplier inputs for kHold operations.
+  constexpr std::size_t kHold = 4;
+  const std::uint64_t max_step = (half_mask >> 4) + 1;
+  std::uint64_t signal = rng.next_bits(width / 2);
+  const std::uint64_t coeff = rng.next_bits(width);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % kHold == 0) {
+      const std::uint64_t step = rng.next_below(max_step);
+      signal = (rng.next() & 1) ? (signal + step) & half_mask
+                                : (signal - step) & half_mask;
+    }
+    out.push_back({signal, coeff});
   }
   return out;
 }

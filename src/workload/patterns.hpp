@@ -39,4 +39,14 @@ std::vector<OperandPattern> patterns_with_multiplicand_zeros(
 std::vector<OperandPattern> dsp_patterns(Rng& rng, int width,
                                          std::size_t count);
 
+/// The stream one hardware FIR tap sees: the multiplicand is a band-limited
+/// signal (bounded random walk confined to the low half of the range, small
+/// sample-to-sample deltas), the multiplicator is that tap's *fixed*
+/// coefficient. Few operand bits toggle per operation and the whole upper
+/// half of the multiplicand stays zero, so large parts of a bypassing array
+/// freeze — the low-activity regime the event-driven simulator kernel is
+/// built for (and the paper's motivating use case).
+std::vector<OperandPattern> fir_tap_patterns(Rng& rng, int width,
+                                             std::size_t count);
+
 }  // namespace agingsim

@@ -1,0 +1,37 @@
+#include "bench/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agingsim::bench {
+namespace {
+
+TEST(LinspaceTest, SinglePointDegeneratesToLowerBound) {
+  const auto v = linspace(550.0, 1350.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 550.0);  // used to be 0/0 = NaN
+}
+
+TEST(LinspaceTest, NonPositiveCountsReturnEmpty) {
+  EXPECT_TRUE(linspace(0.0, 1.0, 0).empty());
+  EXPECT_TRUE(linspace(0.0, 1.0, -3).empty());
+}
+
+TEST(LinspaceTest, EndpointsAndSpacingAreExact) {
+  const auto v = linspace(100.0, 500.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 100.0);
+  EXPECT_DOUBLE_EQ(v[1], 200.0);
+  EXPECT_DOUBLE_EQ(v[2], 300.0);
+  EXPECT_DOUBLE_EQ(v[3], 400.0);
+  EXPECT_DOUBLE_EQ(v[4], 500.0);
+}
+
+TEST(LinspaceTest, TwoPointsAreTheBounds) {
+  const auto v = linspace(-1.0, 1.0, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+}  // namespace
+}  // namespace agingsim::bench

@@ -1,0 +1,117 @@
+// The parallel executor's determinism contract, end to end: a period sweep,
+// a fault campaign and their JSON serializations must be byte-identical for
+// any thread count (explicit pool sizes and AGINGSIM_THREADS alike).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/fault/campaign.hpp"
+#include "src/report/json.hpp"
+
+namespace agingsim {
+namespace {
+
+using bench::linspace;
+using bench::sweep_periods;
+using bench::tech;
+using bench::workload;
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    if (const char* old = std::getenv("AGINGSIM_THREADS")) old_ = old;
+    ::setenv("AGINGSIM_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (old_.has_value()) {
+      ::setenv("AGINGSIM_THREADS", old_->c_str(), 1);
+    } else {
+      ::unsetenv("AGINGSIM_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> old_;
+};
+
+std::string stats_json(std::span<const RunStats> stats) {
+  JsonWriter json;
+  json.begin_array();
+  for (const RunStats& s : stats) {
+    json.begin_object();
+    json.key("period_ps").value(s.period_ps);
+    json.key("ops").value(s.ops);
+    json.key("one_cycle_ops").value(s.one_cycle_ops);
+    json.key("errors").value(s.errors);
+    json.key("avg_latency_ps").value(s.avg_latency_ps);
+    json.key("avg_power_mw").value(s.avg_power_mw);
+    json.key("edp_mw_ns2").value(s.edp_mw_ns2);
+    json.key("total_energy_fj").value(s.total_energy_fj);
+    json.end_object();
+  }
+  json.end_array();
+  return json.str();
+}
+
+TEST(ParallelDeterminismTest, SweepIsIdenticalAcrossExplicitPoolSizes) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const auto trace = compute_op_trace(m, tech(), workload(16, 300));
+  const auto periods = linspace(600.0, 1300.0, 6);
+
+  exec::ThreadPool serial(1);
+  const auto base = sweep_periods(m, trace, periods, 7, true, 0.0, &serial);
+  ASSERT_EQ(base.size(), periods.size());
+  for (const int threads : {2, 4, 8}) {
+    exec::ThreadPool pool(threads);
+    const auto got = sweep_periods(m, trace, periods, 7, true, 0.0, &pool);
+    EXPECT_TRUE(got == base) << threads << "-thread sweep diverged";
+    EXPECT_EQ(stats_json(got), stats_json(base));
+  }
+}
+
+TEST(ParallelDeterminismTest, SweepHonorsThreadsEnvIdentically) {
+  const MultiplierNetlist m = build_row_bypass_multiplier(16);
+  const auto trace = compute_op_trace(m, tech(), workload(16, 200));
+  const auto periods = linspace(600.0, 1300.0, 5);
+
+  const auto run_with_env = [&](const char* env) {
+    ScopedThreadsEnv scoped(env);
+    return sweep_periods(m, trace, periods, 7, true);  // one-shot pool path
+  };
+  const auto one = run_with_env("1");
+  const auto eight = run_with_env("8");
+  EXPECT_TRUE(one == eight);
+  EXPECT_EQ(stats_json(one), stats_json(eight));
+}
+
+TEST(ParallelDeterminismTest, FaultCampaignIsIdenticalAcrossThreadCounts) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  VlSystemConfig system;
+  system.period_ps = 900.0;
+  system.ahl.width = 16;
+  system.ahl.skip = 7;
+  FaultCampaignConfig config;
+  config.kind = FaultKind::kStuckAt0;
+  config.trials = 5;
+  config.sites_per_trial = 2;
+  const FaultCampaign campaign(m, tech(), system, config);
+  const auto patterns = workload(16, 200);
+
+  const auto run_with_env = [&](const char* env) {
+    ScopedThreadsEnv scoped(env);
+    return campaign.run(patterns);
+  };
+  const FaultCampaignStats one = run_with_env("1");
+  const FaultCampaignStats eight = run_with_env("8");
+  EXPECT_TRUE(one == eight);
+  EXPECT_EQ(one.trials, 5u);
+  EXPECT_EQ(one.ops, 5u * 200u);
+}
+
+}  // namespace
+}  // namespace agingsim

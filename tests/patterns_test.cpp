@@ -98,5 +98,21 @@ TEST(PatternsTest, DspPatternsAreInRangeAndCorrelated) {
   EXPECT_GT(zeros_a / 1000.0, 10.0);
 }
 
+TEST(PatternsTest, FirTapPatternsHoldCoefficientAndSamples) {
+  Rng rng(8);
+  const auto pats = fir_tap_patterns(rng, 16, 1000);
+  ASSERT_EQ(pats.size(), 1000u);
+  std::size_t a_changes = 0;
+  for (std::size_t i = 0; i < pats.size(); ++i) {
+    EXPECT_LT(pats[i].a, 0x100u);  // signal confined to the low half
+    EXPECT_EQ(pats[i].b, pats[0].b);  // one fixed coefficient per tap
+    if (i > 0 && pats[i].a != pats[i - 1].a) ++a_changes;
+  }
+  // Each sample is held for several operations (oversampled MAC), so the
+  // multiplicand changes on well under half of the transitions.
+  EXPECT_GT(a_changes, 0u);
+  EXPECT_LT(a_changes, pats.size() / 3);
+}
+
 }  // namespace
 }  // namespace agingsim

@@ -1,0 +1,208 @@
+// Differential tests of the event-driven (sparse) step kernel against the
+// dense full-sweep kernel. The contract is *bit-identical* observable state
+// — StepResult timing/energy fields, every net value and every arrival —
+// across plain runs, aging overlays and all fault kinds, plus the dense
+// fallbacks around power-up, overlay swaps and transient windows. See
+// docs/PERF.md for why identity (not just tolerance) is achievable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/aging/scenario.hpp"
+#include "src/core/calibration.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/workload/rng.hpp"
+
+namespace agingsim {
+namespace {
+
+const TechLibrary& test_tech() {
+  static const TechLibrary t = calibrated_tech_library(1880.0);
+  return t;
+}
+
+struct KernelTotals {
+  std::uint64_t sparse_evaluated = 0;
+  std::uint64_t gates_total = 0;  // summed over steps
+};
+
+/// Drives a dense and a sparse simulator in lockstep over `ops` random
+/// operand pairs and requires bit-identical observable state after every
+/// step. Evaluation totals land in `out` (if given) for sparsity checks.
+void expect_kernels_identical(const MultiplierNetlist& m, std::size_t ops,
+                              const FaultOverlay* overlay = nullptr,
+                              std::span<const double> aging = {},
+                              KernelTotals* out = nullptr,
+                              std::uint64_t seed = 0xD1FF) {
+  MultiplierSim dense(m, test_tech(), aging);
+  MultiplierSim sparse(m, test_tech(), aging);
+  dense.set_mode(TimingSim::Mode::kDense);
+  sparse.set_mode(TimingSim::Mode::kSparse);
+  if (overlay != nullptr) {
+    dense.set_fault_overlay(overlay);
+    sparse.set_fault_overlay(overlay);
+  }
+
+  KernelTotals totals;
+  Rng rng(seed);
+  const std::size_t num_nets = m.netlist.num_nets();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::uint64_t a = rng.next_bits(m.width);
+    const std::uint64_t b = rng.next_bits(m.width);
+    const StepResult d = dense.apply(a, b);
+    const StepResult s = sparse.apply(a, b);
+
+    // Exact equality on purpose: the kernels promise identity, not
+    // closeness. gates_evaluated/gates_total are diagnostics and excluded.
+    ASSERT_EQ(d.output_settle_ps, s.output_settle_ps) << "step " << i;
+    ASSERT_EQ(d.settle_ps, s.settle_ps) << "step " << i;
+    ASSERT_EQ(d.toggles, s.toggles) << "step " << i;
+    ASSERT_EQ(d.switched_cap_ff, s.switched_cap_ff) << "step " << i;
+    ASSERT_EQ(d.gates_total, s.gates_total);
+    ASSERT_EQ(d.gates_evaluated, d.gates_total)
+        << "dense kernel must touch every gate";
+
+    for (std::size_t n = 0; n < num_nets; ++n) {
+      const NetId net = static_cast<NetId>(n);
+      if (dense.timing_sim().value(net) != sparse.timing_sim().value(net) ||
+          dense.timing_sim().arrival(net) !=
+              sparse.timing_sim().arrival(net)) {
+        ADD_FAILURE() << "net " << n << " diverged at step " << i;
+        return;
+      }
+    }
+    totals.sparse_evaluated += s.gates_evaluated;
+    totals.gates_total += s.gates_total;
+  }
+  if (out != nullptr) *out = totals;
+}
+
+TEST(SparseKernelTest, MatchesDenseOnRandomPatterns) {
+  for (const auto arch :
+       {MultiplierArch::kArray, MultiplierArch::kColumnBypass,
+        MultiplierArch::kRowBypass}) {
+    SCOPED_TRACE(arch_name(arch));
+    const MultiplierNetlist m = build_multiplier(arch, 16);
+    KernelTotals t;
+    expect_kernels_identical(m, 1000, nullptr, {}, &t);
+    // The whole point: the changed cone is a strict subset of the netlist.
+    EXPECT_LT(t.sparse_evaluated, t.gates_total);
+    EXPECT_GT(t.sparse_evaluated, 0u);
+  }
+}
+
+TEST(SparseKernelTest, MatchesDenseUnderAgingOverlay) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const BtiModel model = BtiModel::calibrated(test_tech());
+  const AgingScenario scenario(m.netlist, test_tech(), model, 0x26F1, 200);
+  const auto scales = scenario.delay_scales_at(5.0);
+  expect_kernels_identical(m, 400, nullptr, scales);
+}
+
+TEST(SparseKernelTest, MatchesDenseUnderStuckAtFaults) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  const std::size_t g = m.netlist.num_gates();
+  FaultOverlay overlay(g);
+  overlay.add({.kind = FaultKind::kStuckAt0, .gate = static_cast<GateId>(g / 3)});
+  overlay.add(
+      {.kind = FaultKind::kStuckAt1, .gate = static_cast<GateId>(2 * g / 3)});
+  expect_kernels_identical(m, 400, &overlay);
+}
+
+TEST(SparseKernelTest, MatchesDenseAcrossTransientWindows) {
+  const MultiplierNetlist m = build_row_bypass_multiplier(16);
+  FaultOverlay overlay(m.netlist.num_gates());
+  // Strikes scattered through the run, including back-to-back cycles (the
+  // flip and un-flip sweeps overlap) and the very first post-install step.
+  overlay.add({.kind = FaultKind::kTransient,
+               .gate = static_cast<GateId>(m.netlist.num_gates() / 2),
+               .cycle = 0});
+  overlay.add({.kind = FaultKind::kTransient,
+               .gate = static_cast<GateId>(m.netlist.num_gates() / 4),
+               .cycle = 57});
+  overlay.add({.kind = FaultKind::kTransient,
+               .gate = static_cast<GateId>(m.netlist.num_gates() / 5),
+               .cycle = 58});
+  expect_kernels_identical(m, 400, &overlay);
+}
+
+TEST(SparseKernelTest, MatchesDenseUnderDelayOutliers) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  FaultOverlay overlay(m.netlist.num_gates());
+  overlay.add({.kind = FaultKind::kDelayOutlier,
+               .gate = static_cast<GateId>(m.netlist.num_gates() - 10),
+               .delay_factor = 4.0});
+  expect_kernels_identical(m, 400, &overlay);
+}
+
+TEST(SparseKernelTest, OverlaySwapMidRunForcesConsistentState) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  FaultOverlay overlay(m.netlist.num_gates());
+  overlay.add({.kind = FaultKind::kStuckAt1,
+               .gate = static_cast<GateId>(m.netlist.num_gates() / 2)});
+
+  MultiplierSim dense(m, test_tech());
+  MultiplierSim sparse(m, test_tech());
+  dense.set_mode(TimingSim::Mode::kDense);
+  sparse.set_mode(TimingSim::Mode::kSparse);
+  Rng rng(0xABCD);
+  const auto run_both = [&](std::size_t ops) {
+    for (std::size_t i = 0; i < ops; ++i) {
+      const std::uint64_t a = rng.next_bits(m.width);
+      const std::uint64_t b = rng.next_bits(m.width);
+      const StepResult d = dense.apply(a, b);
+      const StepResult s = sparse.apply(a, b);
+      ASSERT_EQ(d.switched_cap_ff, s.switched_cap_ff);
+      ASSERT_EQ(d.settle_ps, s.settle_ps);
+    }
+    for (std::size_t n = 0; n < m.netlist.num_nets(); ++n) {
+      const NetId net = static_cast<NetId>(n);
+      ASSERT_EQ(dense.timing_sim().value(net), sparse.timing_sim().value(net));
+    }
+  };
+  run_both(100);
+  dense.set_fault_overlay(&overlay);  // install mid-run...
+  sparse.set_fault_overlay(&overlay);
+  run_both(100);
+  dense.set_fault_overlay(nullptr);  // ...and release mid-run
+  sparse.set_fault_overlay(nullptr);
+  run_both(100);
+}
+
+TEST(SparseKernelTest, ModeCanBeSwitchedMidRun) {
+  const MultiplierNetlist m = build_array_multiplier(16);
+  MultiplierSim reference(m, test_tech());
+  reference.set_mode(TimingSim::Mode::kDense);
+  MultiplierSim switching(m, test_tech());
+
+  Rng rng(0x5EED);
+  for (std::size_t i = 0; i < 300; ++i) {
+    switching.set_mode((i / 50) % 2 == 0 ? TimingSim::Mode::kSparse
+                                         : TimingSim::Mode::kDense);
+    const std::uint64_t a = rng.next_bits(m.width);
+    const std::uint64_t b = rng.next_bits(m.width);
+    const StepResult d = reference.apply(a, b);
+    const StepResult s = switching.apply(a, b);
+    ASSERT_EQ(d.output_settle_ps, s.output_settle_ps) << "step " << i;
+    ASSERT_EQ(d.switched_cap_ff, s.switched_cap_ff) << "step " << i;
+    ASSERT_EQ(reference.product(), switching.product()) << "step " << i;
+  }
+}
+
+TEST(SparseKernelTest, RepeatedOperandsEvaluateAlmostNothing) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  MultiplierSim sim(m, test_tech());  // sparse by default
+  sim.apply(0x1234, 0x5678);          // power-up: dense fallback
+  sim.apply(0xABCD, 0x4321);
+  const StepResult s = sim.apply(0xABCD, 0x4321);  // no input changed
+  EXPECT_EQ(s.gates_evaluated, 0u);
+  EXPECT_EQ(s.toggles, 0u);
+  EXPECT_EQ(s.switched_cap_ff, 0.0);
+  EXPECT_EQ(s.output_settle_ps, 0.0);
+}
+
+}  // namespace
+}  // namespace agingsim

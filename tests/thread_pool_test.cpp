@@ -1,0 +1,151 @@
+#include "src/exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace agingsim::exec {
+namespace {
+
+/// Scoped AGINGSIM_THREADS override that restores the previous value.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    if (const char* old = std::getenv("AGINGSIM_THREADS")) old_ = old;
+    if (value != nullptr) {
+      ::setenv("AGINGSIM_THREADS", value, 1);
+    } else {
+      ::unsetenv("AGINGSIM_THREADS");
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (old_.has_value()) {
+      ::setenv("AGINGSIM_THREADS", old_->c_str(), 1);
+    } else {
+      ::unsetenv("AGINGSIM_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> old_;
+};
+
+TEST(ThreadPoolTest, EachIndexRunsExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.for_each_index(kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ResultsComeBackInIndexOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_for_indexed(pool, std::size_t{257}, [](std::size_t i) {
+        return i * i;
+      });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneIndexRegions) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.for_each_index(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.for_each_index(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::size_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto out = parallel_for_indexed(pool, std::size_t{20},
+                                          [](std::size_t i) { return i + 1; });
+    total += std::accumulate(out.begin(), out.end(), std::size_t{0});
+  }
+  EXPECT_EQ(total, 50u * (20u * 21u / 2u));
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAfterAllIndicesRan) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(
+        pool.for_each_index(64,
+                            [&](std::size_t i) {
+                              hits[i].fetch_add(1);
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+        std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "index " << i << " skipped after a sibling threw";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedRegionsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_for_indexed(pool, std::size_t{16}, [&](std::size_t i) {
+        const auto inner = parallel_for_indexed(
+            pool, std::size_t{8}, [&](std::size_t j) { return i * 8 + j; });
+        return std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+      });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    std::size_t want = 0;
+    for (std::size_t j = 0; j < 8; ++j) want += i * 8 + j;
+    ASSERT_EQ(out[i], want);
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {
+  {
+    ScopedThreadsEnv env("3");
+    EXPECT_EQ(default_thread_count(), 3);
+  }
+  {
+    ScopedThreadsEnv env("1");
+    EXPECT_EQ(default_thread_count(), 1);
+  }
+  {
+    ScopedThreadsEnv env("100000");
+    EXPECT_EQ(default_thread_count(), 256);  // clamped
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIgnoresGarbageEnv) {
+  const int hw_based = [] {
+    ScopedThreadsEnv env(nullptr);
+    return default_thread_count();
+  }();
+  EXPECT_GE(hw_based, 1);
+  for (const char* bad : {"", "0", "-2", "abc", "4x"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(default_thread_count(), hw_based) << "env value: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace agingsim::exec
