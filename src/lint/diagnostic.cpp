@@ -1,0 +1,44 @@
+#include "src/lint/diagnostic.hpp"
+
+namespace agingsim::lint {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string describe_net(const Netlist& netlist, NetId net) {
+  if (net >= netlist.num_nets()) {
+    return "net " + std::to_string(net) + " (nonexistent)";
+  }
+  const auto inputs = netlist.input_nets();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i] == net) {
+      return netlist.input_name(i) + " (net " + std::to_string(net) + ")";
+    }
+  }
+  const auto outputs = netlist.output_nets();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i] == net) {
+      return netlist.output_name(i) + " (net " + std::to_string(net) + ")";
+    }
+  }
+  return "net " + std::to_string(net);
+}
+
+std::string describe_gate(const Netlist& netlist, GateId gate) {
+  if (gate >= netlist.num_gates()) {
+    return "gate " + std::to_string(gate) + " (nonexistent)";
+  }
+  const CellKind kind = netlist.gate(gate).kind;
+  const std::string_view name = kind < CellKind::kCount
+                                    ? cell_traits(kind).name
+                                    : std::string_view("invalid-kind");
+  return "gate " + std::to_string(gate) + " (" + std::string(name) + ")";
+}
+
+}  // namespace agingsim::lint

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim::lint {
+
+/// Severity grading of a lint diagnostic. Errors are correctness-threatening
+/// (a netlist that simulates wrongly or a timing-safety hole that lets wrong
+/// products commit); warnings are structural smells that waste area/power or
+/// hide bugs; infos document what a rule proved or why it did not run.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+std::string_view severity_name(Severity severity) noexcept;
+
+/// Sentinel for "no gate attached to this diagnostic".
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
+/// One finding of one rule. `gate`/`net` anchor the finding in the netlist
+/// when applicable (kNoGate / kInvalidNet otherwise); `message` already
+/// carries the human-readable names so the diagnostic is self-contained.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string rule;     ///< rule id, e.g. "structural.pin-arity"
+  std::string message;  ///< human-readable, includes gate/net names
+  GateId gate = kNoGate;
+  NetId net = kInvalidNet;
+};
+
+/// Human-readable identity of a net: "a[3] (net 3)" for a primary input,
+/// "p[31] (net 812)" for a primary output, "net 42" for an internal net,
+/// "net 99 (nonexistent)" when out of range. Linear in the I/O count — meant
+/// for diagnostics, not hot loops.
+std::string describe_net(const Netlist& netlist, NetId net);
+
+/// Human-readable identity of a gate: "gate 17 (nand2)"; guards against
+/// out-of-range ids and invalid cell kinds.
+std::string describe_gate(const Netlist& netlist, GateId gate);
+
+}  // namespace agingsim::lint

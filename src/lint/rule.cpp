@@ -1,0 +1,35 @@
+#include "src/lint/rule.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace agingsim::lint {
+
+std::string_view category_name(RuleCategory category) noexcept {
+  switch (category) {
+    case RuleCategory::kStructural: return "structural";
+    case RuleCategory::kTiming: return "timing";
+    case RuleCategory::kConsistency: return "consistency";
+  }
+  return "?";
+}
+
+void RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  if (rule == nullptr) {
+    throw std::invalid_argument("RuleRegistry::add: null rule");
+  }
+  if (find(rule->id()) != nullptr) {
+    throw std::invalid_argument("RuleRegistry::add: duplicate rule id " +
+                                std::string(rule->id()));
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule->id() == id) return rule.get();
+  }
+  return nullptr;
+}
+
+}  // namespace agingsim::lint

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/core/razor.hpp"
+#include "src/lint/diagnostic.hpp"
+
+namespace agingsim {
+struct TechLibrary;
+class AgingScenario;
+struct MultiplierNetlist;
+}  // namespace agingsim
+
+namespace agingsim::lint {
+
+/// Timing-safety context for the timing rule family. The rules prove the
+/// paper's architectural contract over the *static* worst case: every path
+/// that can exceed one (aged) clock period must end in a Razor-protected
+/// flop, and the whole aged critical path must fit inside the AHL's
+/// hold-cycle budget across the scenario sweep.
+struct TimingContext {
+  /// Cell delays the STA runs with. Required for any timing rule to fire.
+  const TechLibrary* tech = nullptr;
+  /// Aging scenario supplying per-gate delay multipliers per year;
+  /// nullptr lints fresh silicon only.
+  const AgingScenario* aging = nullptr;
+  /// Years the hold-count rule sweeps (the paper's 7-year horizon).
+  std::vector<double> sweep_years{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  /// Clock period the design is linted at. <= 0 skips the timing rules.
+  double period_ps = 0.0;
+  /// Maximum cycles the AHL can hold an operation (1- or 2-cycle issue in
+  /// the paper's Fig. 12 design, so 2).
+  int max_hold_cycles = 2;
+  /// Razor bank configuration (shadow-window width drives detectability).
+  RazorConfig razor{};
+  /// Per-primary-output Razor protection flags; empty means the full output
+  /// bank is Razor-protected (the paper's Fig. 8 architecture). A 0 entry
+  /// models a severed Razor tap on that output.
+  std::vector<std::uint8_t> razor_protected{};
+
+  bool output_protected(std::size_t output_index) const noexcept {
+    return razor_protected.empty() || (output_index < razor_protected.size() &&
+                                       razor_protected[output_index] != 0);
+  }
+};
+
+/// Options for the consistency rule family (netlist-vs-golden-function
+/// equivalence on a seeded vector set).
+struct ConsistencyContext {
+  std::size_t vectors = 256;
+  std::uint64_t seed = 0x11A7C0DEULL;
+};
+
+/// Everything a rule may look at. Only `netlist` is mandatory; rules whose
+/// prerequisites are missing report an info diagnostic saying why they did
+/// not run instead of failing.
+struct LintContext {
+  const Netlist* netlist = nullptr;
+  /// Generator metadata (arch, width, operand layout). Enables the
+  /// consistency rules.
+  const MultiplierNetlist* multiplier = nullptr;
+  /// Enables the timing-safety rules.
+  const TimingContext* timing = nullptr;
+  ConsistencyContext consistency{};
+};
+
+enum class RuleCategory { kStructural = 0, kTiming = 1, kConsistency = 2 };
+
+std::string_view category_name(RuleCategory category) noexcept;
+
+/// One static-analysis rule. Rules are stateless: `run` inspects the
+/// context and appends any findings to `out`. Rules must never crash on a
+/// corrupted netlist — flagging the corruption is their job (the lint fuzz
+/// suite feeds them deliberately broken structures).
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable id, e.g. "structural.pin-arity"; used in reports and filters.
+  virtual std::string_view id() const noexcept = 0;
+  virtual RuleCategory category() const noexcept = 0;
+  /// One-line human description of what the rule proves or flags.
+  virtual std::string_view description() const noexcept = 0;
+  virtual void run(const LintContext& ctx,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// Ordered collection of rules. Registration order is execution (and
+/// report) order; ids must be unique.
+class RuleRegistry {
+ public:
+  /// Throws std::invalid_argument on a duplicate rule id.
+  void add(std::unique_ptr<Rule> rule);
+  std::span<const std::unique_ptr<Rule>> rules() const noexcept {
+    return rules_;
+  }
+  /// nullptr when no rule has this id.
+  const Rule* find(std::string_view id) const noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// Built-in rule families. LintEngine registers all three; callers needing
+/// a subset (e.g. Netlist::validate's structural-only pass) can compose
+/// their own registry.
+void register_structural_rules(RuleRegistry& registry);
+void register_timing_rules(RuleRegistry& registry);
+void register_consistency_rules(RuleRegistry& registry);
+
+}  // namespace agingsim::lint

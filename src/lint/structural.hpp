@@ -1,0 +1,16 @@
+#pragma once
+
+#include <vector>
+
+#include "src/lint/diagnostic.hpp"
+
+namespace agingsim::lint {
+
+/// Runs the structural rule family over `netlist` and returns every
+/// diagnostic. This is the engine-less entry point `Netlist::validate()`
+/// delegates to, so construction-time validation and the `aginglint` CLI
+/// agree on what "structurally sound" means. Never throws and never reads
+/// out of bounds, whatever the corruption.
+std::vector<Diagnostic> structural_diagnostics(const Netlist& netlist);
+
+}  // namespace agingsim::lint

@@ -1,0 +1,248 @@
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/aging/scenario.hpp"
+#include "src/lint/rule.hpp"
+#include "src/netlist/netlist.hpp"
+#include "src/sim/sta.hpp"
+
+namespace agingsim::lint {
+namespace {
+
+std::string fmt_ps(double ps) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f ps", ps);
+  return buf;
+}
+
+std::string fmt_years(double years) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", years);
+  return buf;
+}
+
+/// Shared preconditions of the timing rules. Emits an info diagnostic
+/// naming the missing piece so the report records *why* a rule did not run.
+bool timing_ready(const LintContext& ctx, std::string_view rule_id,
+                  std::vector<Diagnostic>& out) {
+  const char* missing = nullptr;
+  if (ctx.timing == nullptr) {
+    missing = "no timing context";
+  } else if (ctx.timing->tech == nullptr) {
+    missing = "no technology library";
+  } else if (ctx.timing->period_ps <= 0.0) {
+    missing = "no clock period";
+  } else if (ctx.netlist->num_outputs() == 0) {
+    missing = "netlist has no primary outputs";
+  }
+  if (missing != nullptr) {
+    out.push_back(Diagnostic{Severity::kInfo, std::string(rule_id),
+                             std::string("skipped: ") + missing, kNoGate,
+                             kInvalidNet});
+    return false;
+  }
+  return true;
+}
+
+/// Worst (latest) year of the sweep; 0 when there is no aging model, since
+/// every year then shares the fresh delays.
+double worst_year(const TimingContext& timing) {
+  if (timing.aging == nullptr || timing.sweep_years.empty()) return 0.0;
+  return *std::max_element(timing.sweep_years.begin(),
+                           timing.sweep_years.end());
+}
+
+StaResult aged_sta(const Netlist& nl, const TimingContext& timing,
+                   double years) {
+  if (timing.aging == nullptr) return run_sta(nl, *timing.tech);
+  const std::vector<double> scales = timing.aging->delay_scales_at(years);
+  return run_sta(nl, *timing.tech, scales);
+}
+
+// ---------------------------------------------------------------------------
+// timing.razor-coverage — the paper's central safety invariant: any output
+// whose worst-case (aged) arrival can exceed one clock period must be
+// captured by a Razor flip-flop, or a mispredicted one-cycle issue commits
+// a wrong product with no error signal.
+// ---------------------------------------------------------------------------
+class RazorCoverageRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "timing.razor-coverage";
+  }
+  RuleCategory category() const noexcept override {
+    return RuleCategory::kTiming;
+  }
+  std::string_view description() const noexcept override {
+    return "every output whose aged worst path exceeds T_clk is "
+           "Razor-protected";
+  }
+  void run(const LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!timing_ready(ctx, id(), out)) return;
+    const Netlist& nl = *ctx.netlist;
+    const TimingContext& timing = *ctx.timing;
+    const double years = worst_year(timing);
+    const StaResult sta = aged_sta(nl, timing, years);
+
+    std::size_t can_exceed = 0;
+    std::size_t uncovered = 0;
+    double worst_ps = 0.0;
+    for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+      const NetId o = nl.output_nets()[i];
+      const double arrival = sta.arrival_ps[o];
+      worst_ps = std::max(worst_ps, arrival);
+      if (arrival <= timing.period_ps) continue;
+      ++can_exceed;
+      if (!timing.output_protected(i)) {
+        ++uncovered;
+        out.push_back(Diagnostic{
+            Severity::kError, std::string(id()),
+            "output " + nl.output_name(i) + " worst aged arrival " +
+                fmt_ps(arrival) + " (year " + fmt_years(years) +
+                ") exceeds T_clk = " + fmt_ps(timing.period_ps) +
+                " but is not Razor-protected: a late settle commits "
+                "silently",
+            kNoGate, o});
+      }
+    }
+    if (uncovered == 0) {
+      out.push_back(Diagnostic{
+          Severity::kInfo, std::string(id()),
+          "proved: " + std::to_string(can_exceed) + " of " +
+              std::to_string(nl.num_outputs()) +
+              " outputs can exceed T_clk = " + fmt_ps(timing.period_ps) +
+              " at year " + fmt_years(years) + " (worst " + fmt_ps(worst_ps) +
+              "); all are Razor-protected",
+          kNoGate, kInvalidNet});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// timing.shadow-window — Razor only recovers violations the shadow latch
+// still captures correctly. A protected output whose aged arrival lands
+// beyond the shadow window is a violation Razor *cannot* detect, which the
+// repo's RunStats counts as `undetected` — statically that must be
+// impossible.
+// ---------------------------------------------------------------------------
+class ShadowWindowRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "timing.shadow-window";
+  }
+  RuleCategory category() const noexcept override {
+    return RuleCategory::kTiming;
+  }
+  std::string_view description() const noexcept override {
+    return "no aged path can settle beyond the Razor shadow window "
+           "(undetectable violation)";
+  }
+  void run(const LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!timing_ready(ctx, id(), out)) return;
+    const Netlist& nl = *ctx.netlist;
+    const TimingContext& timing = *ctx.timing;
+    const double years = worst_year(timing);
+    const StaResult sta = aged_sta(nl, timing, years);
+    const double window_ps =
+        timing.period_ps * (1.0 + timing.razor.shadow_window_cycles);
+
+    std::size_t beyond = 0;
+    for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+      const NetId o = nl.output_nets()[i];
+      const double arrival = sta.arrival_ps[o];
+      // Unprotected late outputs are razor-coverage errors; this rule owns
+      // the protected-but-unrecoverable case.
+      if (arrival <= window_ps || !timing.output_protected(i)) continue;
+      ++beyond;
+      out.push_back(Diagnostic{
+          Severity::kError, std::string(id()),
+          "output " + nl.output_name(i) + " worst aged arrival " +
+              fmt_ps(arrival) + " (year " + fmt_years(years) +
+              ") lands beyond the Razor shadow window " + fmt_ps(window_ps) +
+              ": the violation is undetectable even with Razor",
+          kNoGate, o});
+    }
+    if (beyond == 0) {
+      out.push_back(Diagnostic{
+          Severity::kInfo, std::string(id()),
+          "proved: every aged output arrival fits the Razor shadow window " +
+              fmt_ps(window_ps),
+          kNoGate, kInvalidNet});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// timing.hold-count — the AHL can stretch an operation to at most
+// `max_hold_cycles` cycles; the statically computed aged critical path must
+// fit that budget at *every* point of the scenario sweep, or the
+// variable-latency guarantee ("every path fits in two cycles") breaks as
+// the silicon ages.
+// ---------------------------------------------------------------------------
+class HoldCountRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "timing.hold-count"; }
+  RuleCategory category() const noexcept override {
+    return RuleCategory::kTiming;
+  }
+  std::string_view description() const noexcept override {
+    return "the aged critical path fits the AHL hold-cycle budget across "
+           "the scenario sweep";
+  }
+  void run(const LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!timing_ready(ctx, id(), out)) return;
+    const Netlist& nl = *ctx.netlist;
+    const TimingContext& timing = *ctx.timing;
+    const double budget_ps = timing.period_ps * timing.max_hold_cycles;
+
+    std::vector<double> years = timing.sweep_years;
+    if (years.empty() || timing.aging == nullptr) years = {0.0};
+    std::sort(years.begin(), years.end());
+
+    double first_bad_year = -1.0;
+    double worst_crit = 0.0;
+    double worst_crit_year = 0.0;
+    for (const double y : years) {
+      const double crit = aged_sta(nl, timing, y).critical_path_ps;
+      if (crit > worst_crit) {
+        worst_crit = crit;
+        worst_crit_year = y;
+      }
+      if (crit > budget_ps && first_bad_year < 0.0) first_bad_year = y;
+    }
+
+    if (first_bad_year >= 0.0) {
+      out.push_back(Diagnostic{
+          Severity::kError, std::string(id()),
+          "aged critical path " + fmt_ps(worst_crit) + " (year " +
+              fmt_years(worst_crit_year) + ", first violation at year " +
+              fmt_years(first_bad_year) + ") exceeds the AHL hold budget " +
+              std::to_string(timing.max_hold_cycles) + " x T_clk = " +
+              fmt_ps(budget_ps) +
+              ": a held operation can still miss its deadline",
+          kNoGate, kInvalidNet});
+    } else {
+      out.push_back(Diagnostic{
+          Severity::kInfo, std::string(id()),
+          "proved: critical path stays within the hold budget " +
+              std::to_string(timing.max_hold_cycles) + " x T_clk = " +
+              fmt_ps(budget_ps) + " across " + std::to_string(years.size()) +
+              " sweep points (worst " + fmt_ps(worst_crit) + " at year " +
+              fmt_years(worst_crit_year) + ", margin " +
+              fmt_ps(budget_ps - worst_crit) + ")",
+          kNoGate, kInvalidNet});
+    }
+  }
+};
+
+}  // namespace
+
+void register_timing_rules(RuleRegistry& registry) {
+  registry.add(std::make_unique<RazorCoverageRule>());
+  registry.add(std::make_unique<ShadowWindowRule>());
+  registry.add(std::make_unique<HoldCountRule>());
+}
+
+}  // namespace agingsim::lint

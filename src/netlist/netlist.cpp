@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/lint/structural.hpp"
+
 namespace agingsim {
 
 Netlist::Netlist() : index_once_(std::make_unique<std::once_flag>()) {}
@@ -164,38 +166,18 @@ std::vector<std::size_t> Netlist::gate_count_by_kind() const {
 }
 
 void Netlist::validate() const {
-  if (driver_.size() != input_nets_.size() + gates_.size()) {
-    throw std::logic_error("Netlist::validate: net/driver count mismatch");
+  const std::vector<lint::Diagnostic> diagnostics =
+      lint::structural_diagnostics(*this);
+  std::size_t errors = 0;
+  std::string details;
+  for (const lint::Diagnostic& d : diagnostics) {
+    if (d.severity != lint::Severity::kError) continue;
+    ++errors;
+    details += "\n  [" + d.rule + "] " + d.message;
   }
-  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
-    const Gate& g = gates_[gi];
-    const CellTraits& traits = cell_traits(g.kind);
-    if (g.in_count != traits.num_inputs) {
-      throw std::logic_error("Netlist::validate: pin count mismatch on gate " +
-                             std::to_string(gi));
-    }
-    if (g.out >= driver_.size() ||
-        driver_[g.out] != static_cast<std::int32_t>(gi)) {
-      throw std::logic_error("Netlist::validate: bad driver for gate " +
-                             std::to_string(gi));
-    }
-    for (NetId in : gate_inputs(static_cast<GateId>(gi))) {
-      if (in >= g.out) {
-        throw std::logic_error(
-            "Netlist::validate: gate input not topologically earlier than "
-            "its output (cycle or forward reference)");
-      }
-    }
-  }
-  for (NetId in : input_nets_) {
-    if (in >= driver_.size() || driver_[in] != -1) {
-      throw std::logic_error("Netlist::validate: primary input has a driver");
-    }
-  }
-  for (NetId out : output_nets_) {
-    if (out >= driver_.size()) {
-      throw std::logic_error("Netlist::validate: dangling primary output");
-    }
+  if (errors != 0) {
+    throw std::logic_error("Netlist::validate: " + std::to_string(errors) +
+                           " structural violation(s):" + details);
   }
 }
 

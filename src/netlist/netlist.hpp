@@ -66,6 +66,10 @@ class Netlist {
   std::size_t num_gates() const noexcept { return gates_.size(); }
   std::size_t num_inputs() const noexcept { return input_nets_.size(); }
   std::size_t num_outputs() const noexcept { return output_nets_.size(); }
+  /// Size of the flat gate-input pin array. The lint rules bounds-check
+  /// gate pin windows against this before dereferencing them, so corrupted
+  /// structures are reported instead of read out of bounds.
+  std::size_t num_pins() const noexcept { return pins_.size(); }
 
   const Gate& gate(GateId g) const noexcept { return gates_[g]; }
   std::span<const NetId> gate_inputs(GateId g) const noexcept {
@@ -117,12 +121,19 @@ class Netlist {
   /// Number of gates of each kind (diagnostics and area breakdowns).
   std::vector<std::size_t> gate_count_by_kind() const;
 
-  /// Full structural re-check; throws std::logic_error on violation.
-  /// Checks: pin counts, net existence, single driver, topological order,
-  /// and that every output net exists.
+  /// Full structural re-check, delegated to the lint subsystem's
+  /// structural rule family (src/lint/structural.hpp). Throws one
+  /// std::logic_error aggregating *every* error-severity diagnostic (pin
+  /// arity, driver-table consistency, topological order, dangling or
+  /// duplicate outputs, ...), each carrying gate/net names. Warnings (dead
+  /// logic, aliased bypass pins) do not throw — run the LintEngine for the
+  /// full report.
   void validate() const;
 
  private:
+  /// Test-only structural surgery (tests/ and the lint fuzzers); see
+  /// src/netlist/surgeon.hpp.
+  friend class NetlistSurgeon;
   /// Per-net consumer lists (CSR over pins_) plus per-gate topological
   /// levels. Derived data: rebuilt on demand after structural edits.
   struct FanoutIndex {

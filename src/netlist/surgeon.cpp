@@ -1,0 +1,63 @@
+#include "src/netlist/surgeon.hpp"
+
+#include <stdexcept>
+
+namespace agingsim {
+
+void NetlistSurgeon::set_gate_kind(GateId gate, CellKind kind) {
+  if (gate >= nl_.num_gates()) {
+    throw std::invalid_argument("NetlistSurgeon: gate does not exist");
+  }
+  nl_.invalidate_index();
+  nl_.gates_[gate].kind = kind;
+}
+
+void NetlistSurgeon::set_gate_pin_count(GateId gate, std::uint16_t count) {
+  if (gate >= nl_.num_gates()) {
+    throw std::invalid_argument("NetlistSurgeon: gate does not exist");
+  }
+  nl_.invalidate_index();
+  nl_.gates_[gate].in_count = count;
+}
+
+void NetlistSurgeon::set_gate_pin_begin(GateId gate, std::uint32_t begin) {
+  if (gate >= nl_.num_gates()) {
+    throw std::invalid_argument("NetlistSurgeon: gate does not exist");
+  }
+  nl_.invalidate_index();
+  nl_.gates_[gate].in_begin = begin;
+}
+
+void NetlistSurgeon::set_pin(std::size_t pin_index, NetId net) {
+  if (pin_index >= nl_.pins_.size()) {
+    throw std::invalid_argument("NetlistSurgeon: pin index out of range");
+  }
+  nl_.invalidate_index();
+  nl_.pins_[pin_index] = net;
+}
+
+void NetlistSurgeon::set_driver(NetId net, std::int32_t driver) {
+  if (net >= nl_.num_nets()) {
+    throw std::invalid_argument("NetlistSurgeon: net does not exist");
+  }
+  nl_.invalidate_index();
+  nl_.driver_[net] = driver;
+}
+
+void NetlistSurgeon::set_gate_out(GateId gate, NetId net) {
+  if (gate >= nl_.num_gates()) {
+    throw std::invalid_argument("NetlistSurgeon: gate does not exist");
+  }
+  nl_.invalidate_index();
+  nl_.gates_[gate].out = net;
+}
+
+void NetlistSurgeon::set_output_net(std::size_t output_index, NetId net) {
+  if (output_index >= nl_.num_outputs()) {
+    throw std::invalid_argument("NetlistSurgeon: output index out of range");
+  }
+  nl_.invalidate_index();
+  nl_.output_nets_[output_index] = net;
+}
+
+}  // namespace agingsim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "src/netlist/netlist.hpp"
+
+namespace agingsim {
+
+/// Test-only structural surgery on a Netlist.
+///
+/// `Netlist`'s public construction API makes invalid structures
+/// unrepresentable (pin counts checked, nets must exist before use, drivers
+/// assigned exactly once). That is the right property for production code
+/// and the wrong one for testing the lint subsystem, whose whole job is to
+/// diagnose broken structures. The surgeon is the sanctioned hole: it
+/// reaches through the encapsulation and corrupts the raw tables —
+/// mirroring real generator-bug classes like dropped pins, duplicated
+/// drivers and dangling outputs — so tests and the lint fuzzers can prove
+/// every rule fires and nothing crashes.
+///
+/// Every mutation invalidates the netlist's derived fanout index. Do not
+/// use outside tests: a mutated netlist violates the invariants every
+/// simulator relies on.
+class NetlistSurgeon {
+ public:
+  explicit NetlistSurgeon(Netlist& netlist) : nl_(netlist) {}
+
+  /// Overwrites a gate's cell kind without touching its pins (kind/arity
+  /// mismatch, or an out-of-library kind such as CellKind::kCount).
+  void set_gate_kind(GateId gate, CellKind kind);
+
+  /// Shrinks or grows a gate's pin window ("dropped pin" when shrunk).
+  void set_gate_pin_count(GateId gate, std::uint16_t count);
+
+  /// Repoints a gate's pin window start.
+  void set_gate_pin_begin(GateId gate, std::uint32_t begin);
+
+  /// Rewires one entry of the flat pin array (forward references, aliased
+  /// bypass pins, nonexistent nets).
+  void set_pin(std::size_t pin_index, NetId net);
+
+  /// Overwrites a net's driver entry ("duplicated driver" when pointed at
+  /// a gate that drives another net; orphaned net when set to -1).
+  void set_driver(NetId net, std::int32_t driver);
+
+  /// Overwrites which net a gate claims to drive.
+  void set_gate_out(GateId gate, NetId net);
+
+  /// Repoints a registered primary output at an arbitrary (possibly
+  /// nonexistent) net, bypassing mark_output's existence check.
+  void set_output_net(std::size_t output_index, NetId net);
+
+ private:
+  Netlist& nl_;
+};
+
+}  // namespace agingsim

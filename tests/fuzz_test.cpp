@@ -10,7 +10,9 @@
 #include <cmath>
 #include <vector>
 
+#include "src/lint/engine.hpp"
 #include "src/netlist/netlist.hpp"
+#include "src/netlist/surgeon.hpp"
 #include "src/netlist/techlib.hpp"
 #include "src/sim/sta.hpp"
 #include "src/sim/timing_sim.hpp"
@@ -151,6 +153,162 @@ TEST(FuzzTest, DensityIsFiniteAndNonNegative) {
       EXPECT_TRUE(std::isfinite(r.switched_cap_ff));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lint fuzzing: mutate valid random netlists the way buggy generators would
+// (dropped pins, duplicated drivers, out-of-library kinds, combinational
+// back-edges, dangling outputs, severed Razor taps) and require the lint
+// engine to (a) never crash and (b) always flag the injected defect.
+// ---------------------------------------------------------------------------
+
+std::size_t lint_errors(const Netlist& nl) {
+  lint::LintContext ctx;
+  ctx.netlist = &nl;
+  return lint::LintEngine().run(ctx).errors();
+}
+
+TEST(FuzzTest, LintFlagsEveryInjectedStructuralDefect) {
+  Rng rng(0xF026);
+  int injected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Netlist nl = random_netlist(rng, 6, 40);
+    ASSERT_EQ(lint_errors(nl), 0u) << "baseline must be clean, trial "
+                                   << trial;
+    NetlistSurgeon surgeon(nl);
+    const auto mutation = rng.next_below(5);
+    // Mutations needing a gate with at least one pin skip tie-only picks.
+    const GateId g = static_cast<GateId>(rng.next_below(nl.num_gates()));
+    switch (mutation) {
+      case 0: {  // dropped pin (every cell kind has a fixed arity)
+        if (nl.gate(g).in_count == 0) continue;
+        surgeon.set_gate_pin_count(
+            g, static_cast<std::uint16_t>(nl.gate(g).in_count - 1));
+        break;
+      }
+      case 1: {  // duplicated driver: a second net claims gate g
+        const NetId victim =
+            static_cast<NetId>(rng.next_below(nl.num_nets()));
+        if (victim == nl.gate(g).out) continue;
+        surgeon.set_driver(victim, static_cast<std::int32_t>(g));
+        break;
+      }
+      case 2:  // out-of-library cell kind
+        surgeon.set_gate_kind(g, CellKind::kCount);
+        break;
+      case 3: {  // combinational back-edge: gate reads its own output
+        if (nl.gate(g).in_count == 0) continue;
+        surgeon.set_pin(nl.gate(g).in_begin, nl.gate(g).out);
+        break;
+      }
+      default:  // dangling output
+        surgeon.set_output_net(0, static_cast<NetId>(nl.num_nets() + 99));
+        break;
+    }
+    ++injected;
+    std::size_t errors = 0;
+    ASSERT_NO_THROW(errors = lint_errors(nl))
+        << "lint crashed on mutation " << mutation << " trial " << trial;
+    EXPECT_GE(errors, 1u) << "mutation " << mutation << " undetected, trial "
+                          << trial;
+  }
+  // The skip branches (tie cells, self-aliased victim) must not hollow the
+  // test out.
+  EXPECT_GE(injected, 40);
+}
+
+TEST(FuzzTest, LintEngineNeverCrashesOnRandomMutants) {
+  Rng rng(0xF027);
+  for (int trial = 0; trial < 40; ++trial) {
+    Netlist nl = random_netlist(rng, 5, 30);
+    NetlistSurgeon surgeon(nl);
+    for (int m = 0; m < 3; ++m) {
+      const GateId g = static_cast<GateId>(rng.next_below(nl.num_gates()));
+      const NetId anywhere =
+          static_cast<NetId>(rng.next_below(nl.num_nets() + 20));
+      switch (rng.next_below(7)) {
+        case 0:
+          surgeon.set_gate_kind(g, static_cast<CellKind>(rng.next_below(20)));
+          break;
+        case 1:
+          surgeon.set_gate_pin_count(
+              g, static_cast<std::uint16_t>(rng.next_below(6)));
+          break;
+        case 2:
+          surgeon.set_gate_pin_begin(
+              g, static_cast<std::uint32_t>(rng.next_below(nl.num_pins() + 30)));
+          break;
+        case 3:
+          if (nl.num_pins() != 0) {
+            surgeon.set_pin(rng.next_below(nl.num_pins()), anywhere);
+          }
+          break;
+        case 4:
+          surgeon.set_driver(
+              static_cast<NetId>(rng.next_below(nl.num_nets())),
+              static_cast<std::int32_t>(rng.next_below(nl.num_gates() + 3)) -
+                  2);
+          break;
+        case 5:
+          surgeon.set_gate_out(g, anywhere);
+          break;
+        default:
+          surgeon.set_output_net(rng.next_below(nl.num_outputs()), anywhere);
+          break;
+      }
+    }
+    lint::LintReport report;
+    ASSERT_NO_THROW(report = lint::LintEngine().run(
+                        lint::LintContext{.netlist = &nl}))
+        << "trial " << trial;
+    // Whatever happened, the report must be internally consistent.
+    EXPECT_EQ(report.errors() + report.warnings() + report.infos(),
+              report.diagnostics.size());
+  }
+}
+
+TEST(FuzzTest, LintFlagsSeveredRazorTapOnRandomNetlists) {
+  Rng rng(0xF028);
+  const TechLibrary& tech = default_tech_library();
+  int effective = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Netlist nl = random_netlist(rng, 6, 60);
+    const StaResult sta = run_sta(nl, tech);
+    // Victim: the output with the deepest arrival (must be late enough that
+    // halving its arrival still leaves it past the period).
+    std::size_t victim = 0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+      const double a = sta.arrival_ps[nl.output_nets()[i]];
+      if (a > worst) {
+        worst = a;
+        victim = i;
+      }
+    }
+    if (worst <= 0.0) continue;  // all outputs are tie cells; nothing late
+    ++effective;
+    lint::TimingContext timing;
+    timing.tech = &tech;
+    timing.period_ps = worst / 2.0;
+    timing.razor_protected.assign(nl.num_outputs(), 1);
+    timing.razor_protected[victim] = 0;
+    lint::LintContext ctx;
+    ctx.netlist = &nl;
+    ctx.timing = &timing;
+    lint::LintReport report;
+    ASSERT_NO_THROW(report = lint::LintEngine().run(ctx)) << trial;
+    bool flagged = false;
+    for (const auto& d : report.diagnostics) {
+      if (d.rule == "timing.razor-coverage" &&
+          d.severity == lint::Severity::kError &&
+          d.net == nl.output_nets()[victim]) {
+        flagged = true;
+      }
+    }
+    EXPECT_TRUE(flagged) << "severed tap on output " << victim
+                         << " undetected, trial " << trial;
+  }
+  EXPECT_GE(effective, 15);
 }
 
 }  // namespace

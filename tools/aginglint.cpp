@@ -1,0 +1,342 @@
+// aginglint — rule-based netlist lint & static timing-safety analyzer.
+//
+// Lints generated multiplier netlists with the src/lint/ engine: structural
+// rules (driver table, pin arity, dead logic, bypass-pin exclusivity),
+// timing-safety rules (Razor coverage and AHL hold-count sufficiency over
+// the aged corner, via STA + the BTI aging model) and the functional
+// consistency rule (netlist vs golden multiply on seeded vectors).
+//
+// Exit codes: 0 = no error-severity diagnostics, 1 = at least one error,
+// 2 = usage error. See docs/LINT.md for the rule catalog and JSON schema.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/aging/prob_propagation.hpp"
+#include "src/aging/scenario.hpp"
+#include "src/core/calibration.hpp"
+#include "src/lint/engine.hpp"
+#include "src/multiplier/multiplier.hpp"
+#include "src/report/json.hpp"
+#include "src/sim/sta.hpp"
+
+namespace {
+
+using namespace agingsim;
+
+struct Options {
+  std::vector<MultiplierArch> archs{
+      MultiplierArch::kArray, MultiplierArch::kColumnBypass,
+      MultiplierArch::kRowBypass, MultiplierArch::kWallaceTree};
+  std::vector<int> widths{16, 32};
+  double period_ps = 0.0;  // 0 = auto: aged critical path / hold cycles
+  std::vector<double> years{0, 1, 2, 3, 4, 5, 6, 7};
+  int hold_cycles = 2;
+  std::size_t vectors = 256;
+  std::uint64_t seed = 0x11A7C0DEULL;
+  std::vector<std::size_t> unprotected_outputs;
+  std::string json_path;  // empty = no JSON; "-" = stdout
+  bool verbose = false;
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: aginglint [options]\n"
+        "  --arch LIST      comma list of am,cb,rb,wt (default: all four)\n"
+        "  --width LIST     comma list of bit widths in [2,32] (default: "
+        "16,32)\n"
+        "  --period PS      clock period to lint at; 0 = auto, the minimum\n"
+        "                   safe period aged_critical_path/hold_cycles + 1 ps\n"
+        "                   (default: 0)\n"
+        "  --years LIST     aging sweep years (default: 0..7)\n"
+        "  --hold-cycles N  AHL hold-cycle budget (default: 2)\n"
+        "  --vectors N      consistency-rule random vectors (default: 256)\n"
+        "  --seed S         consistency-rule PRNG seed\n"
+        "  --unprotect I    sever the Razor tap on output index I\n"
+        "                   (repeatable; demonstrates the coverage rule)\n"
+        "  --json PATH      write the diagnostics report as JSON ('-' = "
+        "stdout)\n"
+        "  --list-rules     print the rule catalog and exit\n"
+        "  --verbose        print info-severity diagnostics too\n"
+        "  --quiet          print only the per-target summary lines\n"
+        "  --help           this text\n";
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+std::optional<MultiplierArch> parse_arch(const std::string& name) {
+  if (name == "am" || name == "array") return MultiplierArch::kArray;
+  if (name == "cb" || name == "column") return MultiplierArch::kColumnBypass;
+  if (name == "rb" || name == "row") return MultiplierArch::kRowBypass;
+  if (name == "wt" || name == "wallace") return MultiplierArch::kWallaceTree;
+  return std::nullopt;
+}
+
+int list_rules() {
+  const lint::LintEngine engine;
+  std::printf("%-32s %-12s %s\n", "rule", "category", "description");
+  for (const auto& rule : engine.registry().rules()) {
+    std::printf("%-32s %-12s %s\n", std::string(rule->id()).c_str(),
+                std::string(lint::category_name(rule->category())).c_str(),
+                std::string(rule->description()).c_str());
+  }
+  return 0;
+}
+
+std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "aginglint: " << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      exit_code = 0;
+      return std::nullopt;
+    }
+    if (arg == "--list-rules") {
+      exit_code = list_rules();
+      return std::nullopt;
+    }
+    if (arg == "--verbose") {
+      opt.verbose = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--arch") {
+      const auto v = need_value("--arch");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.archs.clear();
+      for (const std::string& name : split_commas(*v)) {
+        const auto arch = parse_arch(name);
+        if (!arch) {
+          std::cerr << "aginglint: unknown arch '" << name << "'\n";
+          exit_code = 2;
+          return std::nullopt;
+        }
+        opt.archs.push_back(*arch);
+      }
+    } else if (arg == "--width") {
+      const auto v = need_value("--width");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.widths.clear();
+      for (const std::string& w : split_commas(*v)) {
+        const int width = std::atoi(w.c_str());
+        if (width < 2 || width > 32) {
+          std::cerr << "aginglint: width must be in [2,32], got '" << w
+                    << "'\n";
+          exit_code = 2;
+          return std::nullopt;
+        }
+        opt.widths.push_back(width);
+      }
+    } else if (arg == "--period") {
+      const auto v = need_value("--period");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.period_ps = std::atof(v->c_str());
+    } else if (arg == "--years") {
+      const auto v = need_value("--years");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.years.clear();
+      for (const std::string& y : split_commas(*v)) {
+        opt.years.push_back(std::atof(y.c_str()));
+      }
+    } else if (arg == "--hold-cycles") {
+      const auto v = need_value("--hold-cycles");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.hold_cycles = std::atoi(v->c_str());
+      if (opt.hold_cycles < 1) {
+        std::cerr << "aginglint: --hold-cycles must be >= 1\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+    } else if (arg == "--vectors") {
+      const auto v = need_value("--vectors");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.vectors = static_cast<std::size_t>(std::atoll(v->c_str()));
+    } else if (arg == "--seed") {
+      const auto v = need_value("--seed");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.seed = static_cast<std::uint64_t>(std::strtoull(v->c_str(), nullptr, 0));
+    } else if (arg == "--unprotect") {
+      const auto v = need_value("--unprotect");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.unprotected_outputs.push_back(
+          static_cast<std::size_t>(std::atoll(v->c_str())));
+    } else if (arg == "--json") {
+      const auto v = need_value("--json");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.json_path = *v;
+    } else {
+      std::cerr << "aginglint: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      exit_code = 2;
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+struct TargetResult {
+  std::string name;
+  MultiplierArch arch;
+  int width;
+  double period_ps;
+  std::size_t gates;
+  std::size_t nets;
+  lint::LintReport report;
+};
+
+TargetResult lint_target(const Options& opt, const TechLibrary& tech,
+                         MultiplierArch arch, int width) {
+  TargetResult result;
+  result.arch = arch;
+  result.width = width;
+  result.name = std::string(arch_name(arch)) + std::to_string(width);
+
+  const MultiplierNetlist mult = build_multiplier(arch, width);
+  result.gates = mult.netlist.num_gates();
+  result.nets = mult.netlist.num_nets();
+
+  // One aging scenario per target, from the zero-cost analytic stress
+  // profile (deterministic, no Monte-Carlo extraction on the CLI path).
+  const AgingScenario aging(mult.netlist, tech, BtiModel::calibrated(tech),
+                            analytic_stress(mult.netlist));
+
+  lint::TimingContext timing;
+  timing.tech = &tech;
+  timing.aging = &aging;
+  timing.sweep_years = opt.years;
+  timing.max_hold_cycles = opt.hold_cycles;
+  if (opt.period_ps > 0.0) {
+    timing.period_ps = opt.period_ps;
+  } else {
+    // Auto period: the minimum the variable-latency design rule allows —
+    // the worst aged critical path must fit `hold_cycles` cycles — plus
+    // 1 ps so float rounding cannot sit exactly on the boundary.
+    const double worst_year =
+        opt.years.empty() ? 0.0
+                          : *std::max_element(opt.years.begin(), opt.years.end());
+    const StaResult aged_sta =
+        run_sta(mult.netlist, tech, aging.delay_scales_at(worst_year));
+    timing.period_ps =
+        aged_sta.critical_path_ps / opt.hold_cycles + 1.0;
+  }
+  if (!opt.unprotected_outputs.empty()) {
+    timing.razor_protected.assign(mult.netlist.num_outputs(), 1);
+    for (std::size_t idx : opt.unprotected_outputs) {
+      if (idx < timing.razor_protected.size()) timing.razor_protected[idx] = 0;
+    }
+  }
+
+  lint::LintContext ctx;
+  ctx.netlist = &mult.netlist;
+  ctx.multiplier = &mult;
+  ctx.timing = &timing;
+  ctx.consistency.vectors = opt.vectors;
+  ctx.consistency.seed = opt.seed;
+
+  const lint::LintEngine engine;
+  result.report = engine.run(ctx);
+  result.period_ps = timing.period_ps;
+  return result;
+}
+
+void print_target(const Options& opt, const TargetResult& t) {
+  std::printf("%-6s %6zu gates, %6zu nets, T_clk %8.1f ps: %s\n",
+              t.name.c_str(), t.gates, t.nets, t.period_ps,
+              t.report.summary().c_str());
+  if (opt.quiet) return;
+  for (const lint::Diagnostic& d : t.report.diagnostics) {
+    if (d.severity == lint::Severity::kInfo && !opt.verbose) continue;
+    std::printf("  %-7s [%s] %s\n",
+                std::string(lint::severity_name(d.severity)).c_str(),
+                d.rule.c_str(), d.message.c_str());
+  }
+}
+
+std::string targets_json(const Options& opt,
+                         const std::vector<TargetResult>& targets) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("aginglint");
+  w.key("schema_version").value(std::int64_t{1});
+  w.key("hold_cycles").value(opt.hold_cycles);
+  w.key("targets").begin_array();
+  for (const TargetResult& t : targets) {
+    w.begin_object();
+    w.key("name").value(t.name);
+    w.key("arch").value(arch_name(t.arch));
+    w.key("width").value(t.width);
+    w.key("period_ps").value(t.period_ps);
+    w.key("gates").value(static_cast<std::uint64_t>(t.gates));
+    w.key("nets").value(static_cast<std::uint64_t>(t.nets));
+    w.key("report");
+    t.report.write_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int exit_code = 0;
+  const auto opt = parse_args(argc, argv, exit_code);
+  if (!opt) return exit_code;
+
+  const TechLibrary tech = calibrated_tech_library();
+  std::vector<TargetResult> targets;
+  std::size_t total_errors = 0;
+  for (const int width : opt->widths) {
+    for (const MultiplierArch arch : opt->archs) {
+      targets.push_back(lint_target(*opt, tech, arch, width));
+      print_target(*opt, targets.back());
+      total_errors += targets.back().report.errors();
+    }
+  }
+
+  if (!opt->json_path.empty()) {
+    const std::string json = targets_json(*opt, targets);
+    if (opt->json_path == "-") {
+      std::cout << json << "\n";
+    } else {
+      std::ofstream out(opt->json_path);
+      if (!out) {
+        std::cerr << "aginglint: cannot write " << opt->json_path << "\n";
+        return 2;
+      }
+      out << json << "\n";
+    }
+  }
+
+  if (total_errors != 0) {
+    std::fprintf(stderr, "aginglint: %zu error-severity diagnostic(s)\n",
+                 total_errors);
+    return 1;
+  }
+  return 0;
+}
