@@ -16,7 +16,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Ablations", "AHL / Razor / timing-model design choices, 16x16 CB");
   const TechLibrary& t = tech();
   const MultiplierNetlist cb = build_column_bypass_multiplier(16);
@@ -131,3 +131,5 @@ int main() {
   }
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_ablation_ahl", bench_body)

@@ -17,7 +17,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Extension", "combined BTI + electromigration + variation, 16x16 CB");
   const TechLibrary& t = tech();
   const MultiplierNetlist cb = build_column_bypass_multiplier(16);
@@ -98,3 +98,5 @@ int main() {
       ns(worst_corner_crit), ns(worst_vl_latency));
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_ext_combined_aging", bench_body)

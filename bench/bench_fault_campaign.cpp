@@ -65,7 +65,7 @@ void emit_campaign(JsonWriter& json, const CampaignPoint& point, int year,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   const TechLibrary& lib = tech();
   const MultiplierNetlist cb16 = build_column_bypass_multiplier(16);
   const double crit = critical_path_ps(cb16, lib);
@@ -168,3 +168,5 @@ int main() {
   std::printf("%s\n", json.str().c_str());
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fault_campaign", bench_body)

@@ -9,7 +9,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Fig. 5",
                   "path-delay distribution, 16x16 AM / CB / RB, 65536 "
                   "uniform patterns");
@@ -48,3 +48,5 @@ int main() {
       "of the variable-latency design.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig05_delay_distribution", bench_body)

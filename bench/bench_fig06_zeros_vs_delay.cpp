@@ -10,7 +10,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Fig. 6",
                   "16x16 CB delay distribution vs #zeros in multiplicand");
   const TechLibrary& tech = bench::tech();
@@ -39,3 +39,5 @@ int main() {
       "skip more adders. This is why zero-counting predicts cycle needs.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig06_zeros_vs_delay", bench_body)

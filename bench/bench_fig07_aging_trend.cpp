@@ -8,7 +8,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Fig. 7", "critical-path delay over 7 years, 16x16 CB/RB");
   const TechLibrary& tech = bench::tech();
 
@@ -42,3 +42,5 @@ int main() {
       "most of the drift lands in the first two years.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig07_aging_trend", bench_body)

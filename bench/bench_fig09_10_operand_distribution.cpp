@@ -10,7 +10,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Figs. 9-10",
                   "distribution of #zeros/#ones in random 16-bit operands");
   Rng rng(0xF910);
@@ -46,3 +46,5 @@ int main() {
       "zeros or ones gives the same judging power (paper Section III-A).\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig09_10_operand_distribution", bench_body)

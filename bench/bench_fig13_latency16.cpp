@@ -11,7 +11,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 13", "avg latency vs cycle period, 16x16, Skip-7/8/9");
   const ArchSet s = make_arch_set(16, default_ops());
 
@@ -62,3 +62,5 @@ int main() {
       "grows linearly.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig13_latency16", bench_body)

@@ -10,7 +10,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 14", "avg latency vs cycle period, 32x32, Skip-15/16/17");
   const ArchSet s = make_arch_set(32, default_ops());
 
@@ -59,3 +59,5 @@ int main() {
       "grows versus Fig. 13 and the preferred period band widens.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig14_latency32", bench_body)

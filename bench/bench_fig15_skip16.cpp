@@ -10,7 +10,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 15",
            "avg latency across skip numbers, 16x16 A-VLCB / A-VLRB");
   const ArchSet s = make_arch_set(16, default_ops());
@@ -49,3 +49,5 @@ int main() {
       "erroring first; each error costs three extra cycles).\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig15_skip16", bench_body)

@@ -10,7 +10,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 16", "Razor error count per 10000 ops, 16x16, Skip-7/8/9");
   const ArchSet s = make_arch_set(16, default_ops());
   const auto periods = linspace(550.0, 1350.0, 17);
@@ -43,3 +43,5 @@ int main() {
       "converge to ~zero in the preferred band.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig16_errors16", bench_body)

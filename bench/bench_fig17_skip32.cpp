@@ -9,7 +9,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 17",
            "avg latency across skip numbers, 32x32 VLCB / VLRB");
   const ArchSet s = make_arch_set(32, default_ops());
@@ -46,3 +46,5 @@ int main() {
       "32x32 baselines when proper cycle periods are used.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig17_skip32", bench_body)

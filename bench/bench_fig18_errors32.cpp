@@ -6,7 +6,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 18", "Razor error count per 10000 ops, 32x32, Skip-15/16/17");
   const ArchSet s = make_arch_set(32, default_ops());
   const auto periods = linspace(1100.0, 2600.0, 16);
@@ -35,3 +35,5 @@ int main() {
       "mechanism behind the Fig. 17 latency crossover.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig18_errors32", bench_body)

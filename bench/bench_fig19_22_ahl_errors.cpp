@@ -49,7 +49,7 @@ void run_panel(const char* fig, int width, MultiplierArch arch, int skip,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   preamble("Figs. 19-22",
            "error count, traditional vs adaptive variable latency, aged");
   run_panel("Fig. 19", 16, MultiplierArch::kColumnBypass, 7, 550.0, 1350.0);
@@ -64,3 +64,5 @@ int main() {
       "design's; at generous periods the two coincide (no switch needed).\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig19_22_ahl_errors", bench_body)

@@ -34,7 +34,7 @@ AgedArch make_aged(MultiplierArch arch, int width) {
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   preamble("Fig. 23",
            "avg latency, adaptive vs traditional VL, 16x16, aged 7 years");
   const AgedArch cb = make_aged(MultiplierArch::kColumnBypass, 16);
@@ -70,3 +70,5 @@ int main() {
       "long periods (no violations => no switch).\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig23_adaptive16", bench_body)

@@ -7,7 +7,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 24",
            "avg latency, adaptive vs traditional VL, 32x32, aged 7 years");
   const BtiModel model = BtiModel::calibrated(tech());
@@ -54,3 +54,5 @@ int main() {
       "never worse and wins visibly at short cycle periods.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig24_adaptive32", bench_body)

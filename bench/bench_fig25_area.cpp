@@ -11,7 +11,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Fig. 25", "area (transistors), normalized to the AM");
 
   for (int width : {16, 32}) {
@@ -57,3 +57,5 @@ int main() {
       "the width while the array grows quadratically.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig25_area", bench_body)

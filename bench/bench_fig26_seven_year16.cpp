@@ -8,7 +8,7 @@
 
 #include "bench/seven_year.hpp"
 
-int main() {
+static int bench_body() {
   agingsim::bench::preamble(
       "Fig. 26", "normalized latency / power / EDP over 7 years, 16x16");
   agingsim::bench::run_seven_year_figure("Fig. 26", 16, 1200.0, 7);
@@ -19,3 +19,5 @@ int main() {
       "because they pair AM-class latency with bypassing-class power.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig26_seven_year16", bench_body)

@@ -9,7 +9,7 @@
 
 #include "bench/seven_year.hpp"
 
-int main() {
+static int bench_body() {
   agingsim::bench::preamble(
       "Fig. 27", "normalized latency / power / EDP over 7 years, 32x32");
   agingsim::bench::run_seven_year_figure("Fig. 27", 32, 2300.0, 15);
@@ -19,3 +19,5 @@ int main() {
       "larger arrays have a wider short/long path spread to harvest.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_fig27_seven_year32", bench_body)

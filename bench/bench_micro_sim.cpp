@@ -75,7 +75,7 @@ KernelNumbers run_kernel(const MultiplierNetlist& m, TimingSim::Mode mode,
 
 }  // namespace
 
-int main() {
+static int bench_body() {
   const std::size_t ops = default_ops();
   JsonWriter json;
   json.begin_object();
@@ -196,3 +196,5 @@ int main() {
   std::printf("%s\n", json.str().c_str());
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_micro_sim", bench_body)

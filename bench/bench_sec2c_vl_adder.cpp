@@ -13,7 +13,7 @@
 using namespace agingsim;
 using namespace agingsim::bench;
 
-int main() {
+static int bench_body() {
   preamble("Sec. II-C / Fig. 4", "8-bit variable-latency RCA with hold logic");
   const TechLibrary& t = tech();
 
@@ -61,3 +61,5 @@ int main() {
       100.0 * max_delay_hold0 / crit);
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_sec2c_vl_adder", bench_body)

@@ -11,7 +11,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Table I", "one-cycle pattern ratio, 16x16 VLCB / VLRB");
 
   Rng rng(0x7AB1E1);
@@ -46,3 +46,5 @@ int main() {
       "operands.\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_table1_ratio16", bench_body)

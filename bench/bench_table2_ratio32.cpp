@@ -9,7 +9,7 @@
 
 using namespace agingsim;
 
-int main() {
+static int bench_body() {
   bench::preamble("Table II", "one-cycle pattern ratio, 32x32 VLCB / VLRB");
 
   Rng rng(0x7AB1E2);
@@ -42,3 +42,5 @@ int main() {
       "uniform operands produce (likely a different sampling protocol).\n");
   return 0;
 }
+
+AGINGSIM_BENCH_MAIN("bench_table2_ratio32", bench_body)

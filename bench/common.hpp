@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "src/core/vl_multiplier.hpp"
 #include "src/exec/thread_pool.hpp"
 #include "src/report/table.hpp"
+#include "src/runtime/robust_runner.hpp"
+#include "src/runtime/stats_codec.hpp"
 #include "src/workload/patterns.hpp"
 
 namespace agingsim::bench {
@@ -65,10 +68,16 @@ inline std::vector<double> linspace(double lo, double hi, int points) {
 /// independent simulator per sweep point, fanned out across `pool` (or a
 /// one-shot pool honoring AGINGSIM_THREADS when none is given). Results
 /// come back in period order and are byte-identical for any thread count.
+/// With a `runner`, each sweep point becomes a crash-safe work unit
+/// (retry/backoff, watchdog, checkpoint/resume — docs/ROBUSTNESS.md);
+/// quarantined points come back as default RunStats (inspect the runner's
+/// RunReport to tell them apart).
 inline std::vector<RunStats> sweep_periods(
     const MultiplierNetlist& mult, std::span<const OpTrace> trace,
     std::span<const double> periods_ps, int skip, bool adaptive,
-    double mean_dvth_v = 0.0, exec::ThreadPool* pool = nullptr) {
+    double mean_dvth_v = 0.0, exec::ThreadPool* pool = nullptr,
+    runtime::RobustRunner* runner = nullptr,
+    runtime::RunReport* report = nullptr) {
   const auto run_point = [&](std::size_t i) {
     VlSystemConfig cfg;
     cfg.period_ps = periods_ps[i];
@@ -78,6 +87,24 @@ inline std::vector<RunStats> sweep_periods(
     VariableLatencySystem sys(mult, tech(), cfg);
     return sys.run(trace, mean_dvth_v);
   };
+  if (runner != nullptr) {
+    runtime::RunReport local_report;
+    runtime::RunReport& rep = report != nullptr ? *report : local_report;
+    const auto payloads = runner->run(
+        periods_ps.size(),
+        [&](std::uint64_t unit, const runtime::CancelToken&) {
+          return runtime::encode_run_stats(
+              run_point(static_cast<std::size_t>(unit)));
+        },
+        &rep);
+    std::vector<RunStats> out(periods_ps.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (rep.units[i].state != runtime::UnitState::kQuarantined) {
+        out[i] = runtime::decode_run_stats(payloads[i]);
+      }
+    }
+    return out;
+  }
   if (pool != nullptr) {
     return exec::parallel_for_indexed(*pool, periods_ps.size(), run_point);
   }
@@ -122,5 +149,24 @@ inline void preamble(const char* id, const char* what) {
               " (paper Fig. 5)\n");
   std::printf("############################################################\n\n");
 }
+
+/// Shared top-level exception barrier for every bench binary. An uncaught
+/// throw in main would std::terminate and lose the diagnostic; routing
+/// through here prints the what() to stderr and exits 70 (EX_SOFTWARE)
+/// so CI and scripts see a classified failure. Use via AGINGSIM_BENCH_MAIN.
+inline int guarded_main(const char* id, int (*bench_body)()) noexcept {
+  try {
+    return bench_body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: fatal: %s\n", id, e.what());
+  } catch (...) {
+    std::fprintf(stderr, "%s: fatal: unknown exception\n", id);
+  }
+  return 70;
+}
+
+// NOLINTNEXTLINE(cppcoreguidelines-macro-usage)
+#define AGINGSIM_BENCH_MAIN(id, body) \
+  int main() { return ::agingsim::bench::guarded_main(id, body); }
 
 }  // namespace agingsim::bench

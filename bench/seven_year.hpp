@@ -8,8 +8,12 @@
 // so no timing violations occur, exactly as in the paper's setup.
 
 #include <array>
+#include <filesystem>
+#include <optional>
 
 #include "bench/common.hpp"
+#include "src/runtime/checkpoint.hpp"
+#include "src/runtime/serial.hpp"
 
 namespace agingsim::bench {
 
@@ -35,35 +39,79 @@ inline void run_seven_year_figure(const char* fig, int width,
   std::array<std::array<RunStats, kDesigns>, 8> stats;
 
   // One independent simulator per (year, design): the year points fan out
-  // across the pool, each replaying the shared pattern set through its own
-  // aged trace. Results land in year order, so output is byte-identical to
-  // the serial sweep for any AGINGSIM_THREADS setting.
-  const auto year_rows = exec::parallel_for_indexed(
-      std::size_t{8}, [&](std::size_t y) {
-        const double year = static_cast<double>(y);
-        const auto run_fixed = [&](const Arch& a) {
-          const auto scales = a.scenario.delay_scales_at(year);
-          const auto trace = compute_op_trace(a.mult, t, pats, scales);
-          FixedLatencySystem sys(a.mult, t);
-          return sys.run(trace, critical_path_ps(a.mult, t, scales),
-                         a.scenario.mean_dvth_at(year));
-        };
-        const auto run_vl = [&](const Arch& a) {
-          const auto scales = a.scenario.delay_scales_at(year);
-          const auto trace = compute_op_trace(a.mult, t, pats, scales);
-          VlSystemConfig cfg;
-          cfg.period_ps = vl_period_ps;
-          cfg.ahl.width = width;
-          cfg.ahl.skip = skip;
-          VariableLatencySystem sys(a.mult, t, cfg);
-          return sys.run(trace, a.scenario.mean_dvth_at(year));
-        };
-        return std::array<RunStats, kDesigns>{run_fixed(am), run_fixed(cb),
-                                              run_fixed(rb), run_vl(cb),
-                                              run_vl(rb)};
-      });
+  // across the RobustRunner (which parallelizes via the same pool layer),
+  // each replaying the shared pattern set through its own aged trace.
+  // Results land in year order, so output is byte-identical to the serial
+  // sweep for any AGINGSIM_THREADS setting — and, because each year row is
+  // persisted as one checkpoint unit the moment it completes, a run killed
+  // mid-sweep and restarted with AGINGSIM_CHECKPOINT_DIR set resumes with
+  // byte-identical figures (docs/ROBUSTNESS.md).
+  const auto compute_year_row = [&](std::size_t y) {
+    const double year = static_cast<double>(y);
+    const auto run_fixed = [&](const Arch& a) {
+      const auto scales = a.scenario.delay_scales_at(year);
+      const auto trace = compute_op_trace(a.mult, t, pats, scales);
+      FixedLatencySystem sys(a.mult, t);
+      return sys.run(trace, critical_path_ps(a.mult, t, scales),
+                     a.scenario.mean_dvth_at(year));
+    };
+    const auto run_vl = [&](const Arch& a) {
+      const auto scales = a.scenario.delay_scales_at(year);
+      const auto trace = compute_op_trace(a.mult, t, pats, scales);
+      VlSystemConfig cfg;
+      cfg.period_ps = vl_period_ps;
+      cfg.ahl.width = width;
+      cfg.ahl.skip = skip;
+      VariableLatencySystem sys(a.mult, t, cfg);
+      return sys.run(trace, a.scenario.mean_dvth_at(year));
+    };
+    return std::array<RunStats, kDesigns>{run_fixed(am), run_fixed(cb),
+                                          run_fixed(rb), run_vl(cb),
+                                          run_vl(rb)};
+  };
+
+  runtime::RunnerConfig runner_config = runtime::RunnerConfig::from_env();
+  std::optional<runtime::CheckpointStore> store;
+  if (const char* dir = std::getenv("AGINGSIM_CHECKPOINT_DIR")) {
+    runtime::Digest digest;
+    digest.mix(std::string_view("seven_year/v1"))
+        .mix(std::string_view(fig))
+        .mix(width)
+        .mix(vl_period_ps)
+        .mix(skip)
+        .mix(static_cast<std::uint64_t>(pats.size()));
+    store.emplace(std::filesystem::path(dir) / fig, digest.value());
+    const runtime::CheckpointScan scan = store->load();
+    std::fprintf(stderr, "%s: checkpoints: %zu year rows restored, %zu "
+                 "stale files discarded\n", fig, scan.loaded, scan.discarded);
+    runner_config.checkpoints = &*store;
+  }
+  runtime::RobustRunner runner(runner_config);
+  runtime::RunReport report;
+  const auto payloads = runner.run(
+      std::size_t{8},
+      [&](std::uint64_t y, const runtime::CancelToken&) {
+        const auto row = compute_year_row(static_cast<std::size_t>(y));
+        return runtime::encode_run_stats_row(row);
+      },
+      &report);
+  if (!report.all_ok()) {
+    // A figure with holes is worthless: surface the first failure.
+    for (const runtime::UnitOutcome& u : report.units) {
+      if (u.state == runtime::UnitState::kQuarantined) {
+        throw runtime::RunError(u.category,
+                                std::string(fig) + ": year row quarantined: " +
+                                    u.error);
+      }
+    }
+  }
   for (int year = 0; year <= 7; ++year) {
-    stats[year] = year_rows[static_cast<std::size_t>(year)];
+    const auto row = runtime::decode_run_stats_row(
+        payloads[static_cast<std::size_t>(year)]);
+    for (int d = 0; d < kDesigns; ++d) {
+      stats[year][static_cast<std::size_t>(d)] =
+          row.at(static_cast<std::size_t>(d));
+    }
   }
 
   const double lat0 = stats[0][0].avg_latency_ps;

@@ -1,7 +1,9 @@
 #include "src/exec/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace agingsim::exec {
 namespace {
@@ -10,18 +12,40 @@ namespace {
 // from such a thread run inline instead of deadlocking on their own pool.
 thread_local bool tls_in_pool_worker = false;
 
+// One warning per distinct bad AGINGSIM_THREADS value — the variable is
+// re-read at every parallel region, so warning unconditionally would spam
+// a sweep with hundreds of identical lines.
+void warn_threads_env_once(const char* env, const char* what) {
+  static std::mutex mutex;
+  static std::string last_warned;
+  std::lock_guard lk(mutex);
+  if (last_warned == env) return;
+  last_warned = env;
+  std::fprintf(stderr, "AGINGSIM_THREADS='%s' %s\n", env, what);
+}
+
 }  // namespace
 
 int default_thread_count() {
+  const auto hardware = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  };
   if (const char* env = std::getenv("AGINGSIM_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<int>(std::min<long>(v, 256));
+    if (end == env || *end != '\0' || v < 1) {
+      warn_threads_env_once(
+          env, "is not a thread count >= 1; using hardware concurrency");
+      return hardware();
     }
+    if (v > 256) {
+      warn_threads_env_once(env, "clamped to the 256-lane maximum");
+      return 256;
+    }
+    return static_cast<int>(v);
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return hardware();
 }
 
 ThreadPool::ThreadPool(int threads) {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "src/exec/thread_pool.hpp"
+#include "src/runtime/serial.hpp"
+#include "src/runtime/stats_codec.hpp"
 
 namespace agingsim {
 
@@ -91,17 +93,53 @@ FaultOverlay FaultCampaign::sample_overlay(Rng& rng,
 FaultCampaignStats FaultCampaign::run(
     std::span<const OperandPattern> patterns,
     std::span<const double> gate_delay_scale, double mean_dvth_v) const {
+  return run(patterns, CampaignRunOptions{.gate_delay_scale = gate_delay_scale,
+                                          .mean_dvth_v = mean_dvth_v});
+}
+
+std::uint64_t FaultCampaign::config_digest(
+    std::span<const OperandPattern> patterns,
+    std::span<const double> gate_delay_scale, double mean_dvth_v) const {
+  runtime::Digest d;
+  d.mix(std::string_view("FaultCampaign/v1"));
+  d.mix(mult_->width)
+      .mix(static_cast<std::uint64_t>(mult_->netlist.num_gates()))
+      .mix(static_cast<std::uint64_t>(mult_->netlist.num_nets()));
+  d.mix(system_.period_ps)
+      .mix(system_.razor_seed)
+      .mix(system_.ahl.width)
+      .mix(system_.ahl.skip)
+      .mix(system_.ahl.adaptive)
+      .mix(system_.ahl.second_block_offset)
+      .mix(system_.ahl.indicator.window_ops)
+      .mix(system_.ahl.indicator.error_threshold)
+      .mix(system_.ahl.indicator.sticky)
+      .mix(system_.ahl.storm_fallback)
+      .mix(system_.ahl.storm_error_threshold)
+      .mix(system_.ahl.storm_calm_windows)
+      .mix(system_.razor.shadow_window_cycles)
+      .mix(system_.razor.reexec_penalty_cycles)
+      .mix(system_.razor.metastability_window_ps)
+      .mix(system_.razor.edge_escape_prob);
+  d.mix(static_cast<int>(config_.kind))
+      .mix(config_.trials)
+      .mix(config_.sites_per_trial)
+      .mix(config_.delay_factor)
+      .mix(config_.seed);
+  d.mix(static_cast<std::uint64_t>(patterns.size()));
+  for (const OperandPattern& p : patterns) d.mix(p.a).mix(p.b);
+  d.mix(static_cast<std::uint64_t>(gate_delay_scale.size()));
+  for (const double s : gate_delay_scale) d.mix(s);
+  d.mix(mean_dvth_v);
+  return d.value();
+}
+
+FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
+                                      const CampaignRunOptions& options) const {
+  const std::span<const double> gate_delay_scale = options.gate_delay_scale;
+  const double mean_dvth_v = options.mean_dvth_v;
   FaultCampaignStats agg;
   agg.kind = config_.kind;
-
-  // Fault-free reference run: the throughput and error-rate baseline the
-  // faulty runs are measured against.
-  const auto baseline_trace =
-      compute_op_trace(*mult_, *tech_, patterns, gate_delay_scale);
-  VariableLatencySystem system(*mult_, *tech_, system_);
-  const RunStats baseline = system.run(baseline_trace, mean_dvth_v);
-  agg.avg_cycles_baseline = baseline.avg_cycles;
-  agg.baseline_errors_per_10k_ops = baseline.errors_per_10k_ops;
 
   // Overlay sampling draws from one shared Rng, so it stays serial (and
   // bit-identical to the historical single-threaded campaign); the trials
@@ -114,20 +152,71 @@ FaultCampaignStats FaultCampaign::run(
     overlays.push_back(sample_overlay(rng, patterns.size()));
   }
 
-  const std::vector<RunStats> trial_stats = exec::parallel_for_indexed(
-      overlays.size(), [&](std::size_t t) {
-        const auto faulty_trace = compute_op_trace(
-            *mult_, *tech_, patterns,
-            TraceOptions{.gate_delay_scale = gate_delay_scale,
-                         .faults = &overlays[t]});
-        VariableLatencySystem trial_system(*mult_, *tech_, system_);
-        return trial_system.run(faulty_trace, mean_dvth_v);
-      });
+  // Fault-free reference run: the throughput and error-rate baseline the
+  // faulty runs are measured against.
+  const auto run_baseline = [&] {
+    const auto baseline_trace =
+        compute_op_trace(*mult_, *tech_, patterns, gate_delay_scale);
+    VariableLatencySystem system(*mult_, *tech_, system_);
+    return system.run(baseline_trace, mean_dvth_v);
+  };
+  const auto run_trial = [&](std::size_t t) {
+    const auto faulty_trace = compute_op_trace(
+        *mult_, *tech_, patterns,
+        TraceOptions{.gate_delay_scale = gate_delay_scale,
+                     .faults = &overlays[t]});
+    VariableLatencySystem trial_system(*mult_, *tech_, system_);
+    return trial_system.run(faulty_trace, mean_dvth_v);
+  };
+
+  RunStats baseline;
+  std::vector<RunStats> trial_stats;
+  std::vector<char> trial_ok;
+  if (options.runner == nullptr) {
+    baseline = run_baseline();
+    trial_stats = exec::parallel_for_indexed(overlays.size(), run_trial);
+    trial_ok.assign(trial_stats.size(), 1);
+  } else {
+    // Crash-safe path: unit 0 = baseline, units 1..trials = trials. Each
+    // unit's payload is its bit-exact encoded RunStats, so units restored
+    // from a checkpoint aggregate identically to freshly computed ones.
+    runtime::RunReport local_report;
+    runtime::RunReport& report =
+        options.report != nullptr ? *options.report : local_report;
+    const std::size_t units = overlays.size() + 1;
+    const auto payloads = options.runner->run(
+        units,
+        [&](std::uint64_t unit, const runtime::CancelToken&) {
+          return runtime::encode_run_stats(unit == 0 ? run_baseline()
+                                                     : run_trial(unit - 1));
+        },
+        &report);
+    if (report.units[0].state == runtime::UnitState::kQuarantined) {
+      throw runtime::RunError(
+          runtime::ErrorCategory::kPermanent,
+          "FaultCampaign: baseline unit quarantined (" +
+              report.units[0].error + "); campaign cannot be normalized");
+    }
+    baseline = runtime::decode_run_stats(payloads[0]);
+    trial_stats.resize(overlays.size());
+    trial_ok.assign(overlays.size(), 0);
+    for (std::size_t t = 0; t < overlays.size(); ++t) {
+      if (report.units[t + 1].state == runtime::UnitState::kQuarantined) {
+        ++agg.trials_quarantined;
+        continue;
+      }
+      trial_stats[t] = runtime::decode_run_stats(payloads[t + 1]);
+      trial_ok[t] = 1;
+    }
+  }
+  agg.avg_cycles_baseline = baseline.avg_cycles;
+  agg.baseline_errors_per_10k_ops = baseline.errors_per_10k_ops;
 
   // Aggregation runs in trial-index order; every accumulator below is an
   // integer, so the totals are independent of scheduling anyway.
   std::uint64_t total_cycles = 0;
   for (std::size_t t = 0; t < trial_stats.size(); ++t) {
+    if (trial_ok[t] == 0) continue;  // quarantined: contributes nothing
     const RunStats& s = trial_stats[t];
     const FaultOverlay& overlay = overlays[t];
     ++agg.trials;

@@ -5,6 +5,7 @@
 
 #include "src/core/vl_multiplier.hpp"
 #include "src/fault/fault.hpp"
+#include "src/runtime/robust_runner.hpp"
 #include "src/workload/rng.hpp"
 
 namespace agingsim {
@@ -40,6 +41,12 @@ struct FaultCampaignStats {
   std::uint64_t trials_with_sdc = 0;
   std::uint64_t storm_engagements = 0;
   std::uint64_t storm_recoveries = 0;
+  /// Trials whose worker task failed past the runtime's retry budget and
+  /// was quarantined (crash-safe runs only; see runtime::RobustRunner).
+  /// Quarantined trials contribute to no other counter: `trials` counts
+  /// completed trials only, so `trials + trials_quarantined` equals the
+  /// configured trial count.
+  std::uint64_t trials_quarantined = 0;
 
   /// detected / (detected + escaped + uncovered); 1.0 when no violations.
   double detection_coverage = 1.0;
@@ -77,6 +84,20 @@ double delay_percentile_ps(std::span<const OpTrace> trace, double q);
 /// faults.
 double max_delay_ps(std::span<const OpTrace> trace);
 
+/// Options of one crash-safe campaign execution (`FaultCampaign::run`).
+struct CampaignRunOptions {
+  std::span<const double> gate_delay_scale = {};
+  double mean_dvth_v = 0.0;
+  /// Crash-safe execution layer (retry/backoff, watchdog, quarantine,
+  /// checkpoint/resume — docs/ROBUSTNESS.md). Null runs the plain parallel
+  /// path. Work units: unit 0 is the fault-free baseline, units 1..trials
+  /// are the trials, so a checkpoint store attached to the runner resumes
+  /// a killed campaign with byte-identical results.
+  runtime::RobustRunner* runner = nullptr;
+  /// Filled with per-unit outcomes when `runner` is given.
+  runtime::RunReport* report = nullptr;
+};
+
 /// Drives fault-injection campaigns against one multiplier + system config.
 /// Each trial samples fresh fault sites (seeded — campaigns are
 /// bit-reproducible), computes a faulty gate-level trace via a FaultOverlay
@@ -95,6 +116,21 @@ class FaultCampaign {
   FaultCampaignStats run(std::span<const OperandPattern> patterns,
                          std::span<const double> gate_delay_scale = {},
                          double mean_dvth_v = 0.0) const;
+
+  /// Crash-safe variant: same statistics, executed under the options'
+  /// RobustRunner when one is given. Throws runtime::RunError(kPermanent)
+  /// if the baseline unit itself is quarantined — no faulty trial can be
+  /// normalized without it.
+  FaultCampaignStats run(std::span<const OperandPattern> patterns,
+                         const CampaignRunOptions& options) const;
+
+  /// Fingerprint of everything that determines this campaign's work-unit
+  /// payloads (multiplier, system config, campaign config, workload,
+  /// aging overlay) — the config digest a CheckpointStore must be keyed
+  /// by, so stale checkpoints from a different setup are discarded.
+  std::uint64_t config_digest(std::span<const OperandPattern> patterns,
+                              std::span<const double> gate_delay_scale = {},
+                              double mean_dvth_v = 0.0) const;
 
   const FaultCampaignConfig& config() const noexcept { return config_; }
 

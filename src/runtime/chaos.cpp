@@ -1,0 +1,122 @@
+#include "src/runtime/chaos.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace agingsim::runtime {
+namespace {
+
+/// splitmix64 — the repo-standard bit mixer (see workload/rng.hpp).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double to_unit_interval(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view chaos_action_name(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kNone: return "none";
+    case ChaosAction::kThrowTransient: return "throw-transient";
+    case ChaosAction::kThrowPermanent: return "throw-permanent";
+    case ChaosAction::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+std::optional<ChaosPolicy> ChaosPolicy::parse(std::string_view spec,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<ChaosPolicy> {
+    if (error != nullptr) {
+      *error = "chaos spec '" + std::string(spec) + "': " + why +
+               " (expected seed:rate[:actions], actions in [tpsc])";
+    }
+    return std::nullopt;
+  };
+
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    fields.emplace_back(spec.substr(
+        start, colon == std::string_view::npos ? colon : colon - start));
+    if (colon == std::string_view::npos) break;
+    start = colon + 1;
+  }
+  if (fields.size() < 2 || fields.size() > 3) {
+    return fail("need 2 or 3 colon-separated fields");
+  }
+
+  ChaosPolicy policy;
+  char* end = nullptr;
+  policy.seed = std::strtoull(fields[0].c_str(), &end, 0);
+  if (fields[0].empty() || *end != '\0') return fail("bad seed");
+  policy.rate = std::strtod(fields[1].c_str(), &end);
+  if (fields[1].empty() || *end != '\0' || policy.rate < 0.0 ||
+      policy.rate > 1.0) {
+    return fail("rate must be a number in [0, 1]");
+  }
+
+  if (fields.size() == 3) {
+    policy.throw_transient = false;
+    if (fields[2].empty()) return fail("empty actions field");
+    for (char c : fields[2]) {
+      switch (c) {
+        case 't': policy.throw_transient = true; break;
+        case 'p': policy.throw_permanent = true; break;
+        case 's': policy.stall = true; break;
+        case 'c': policy.crash = true; break;
+        default: return fail(std::string("unknown action '") + c + "'");
+      }
+    }
+  }
+  return policy;
+}
+
+ChaosPolicy ChaosPolicy::from_env() {
+  const char* env = std::getenv("AGINGSIM_CHAOS");
+  if (env == nullptr || *env == '\0') return {};
+  std::string error;
+  if (const auto policy = parse(env, &error)) return *policy;
+  static std::once_flag warned;
+  std::call_once(warned, [&] {
+    std::fprintf(stderr, "AGINGSIM_CHAOS ignored: %s\n", error.c_str());
+  });
+  return {};
+}
+
+ChaosAction ChaosPolicy::decide(std::uint64_t unit, int attempt) const {
+  if (!enabled()) return ChaosAction::kNone;
+  std::array<ChaosAction, 3> enabled_actions{};
+  std::size_t n = 0;
+  if (throw_transient) enabled_actions[n++] = ChaosAction::kThrowTransient;
+  if (throw_permanent) enabled_actions[n++] = ChaosAction::kThrowPermanent;
+  if (stall) enabled_actions[n++] = ChaosAction::kStall;
+  if (n == 0) return ChaosAction::kNone;
+
+  const std::uint64_t h =
+      mix64(seed ^ mix64(unit + 1) ^
+            mix64(static_cast<std::uint64_t>(attempt) * 0x5DEECE66DULL));
+  if (to_unit_interval(h) >= rate) return ChaosAction::kNone;
+  return enabled_actions[mix64(h) % n];
+}
+
+std::uint64_t ChaosPolicy::crash_after_units(std::uint64_t epoch) const {
+  if (!enabled() || !crash) return 0;
+  // Span ~ 1/rate units, so the crash frequency tracks the configured rate;
+  // minimum 1 guarantees at least one fresh unit is persisted per run.
+  const std::uint64_t span =
+      rate >= 1.0 ? 1 : static_cast<std::uint64_t>(1.0 / rate);
+  return 1 + mix64(seed ^ mix64(epoch + 0x9E37ULL)) % span;
+}
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,209 @@
+#include "src/runtime/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "src/runtime/serial.hpp"
+
+namespace agingsim::runtime {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4B434741u;  // "AGCK" little-endian
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 4;
+
+std::string header_bytes(std::uint64_t digest, std::uint64_t unit,
+                         std::string_view payload) {
+  ByteWriter w;
+  w.u32(kMagic)
+      .u32(CheckpointStore::kFormatVersion)
+      .u64(digest)
+      .u64(unit)
+      .u64(payload.size())
+      .u32(crc32(payload));
+  return w.take();
+}
+
+/// POSIX durable write: payload to fd, fsync, close. Returns false on any
+/// failure (the caller treats the file as unwritable).
+bool write_durable(const std::filesystem::path& path,
+                   std::string_view header, std::string_view payload) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  const auto write_all = [&](std::string_view bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  ok = write_all(header) && write_all(payload);
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+/// Best-effort fsync of the directory so the rename itself is durable.
+void sync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void diagnose(const std::filesystem::path& file, const char* why) {
+  std::fprintf(stderr,
+               "checkpoint: discarding %s (%s); the unit will be re-run\n",
+               file.string().c_str(), why);
+}
+
+/// Validates one checkpoint file. On success fills unit/payload and returns
+/// nullptr; otherwise returns a static reason string.
+const char* read_unit_file(const std::filesystem::path& file,
+                           std::uint64_t expected_digest, std::uint64_t& unit,
+                           std::string& payload) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) return "unreadable";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  if (bytes.size() < kHeaderBytes) return "truncated header";
+
+  ByteReader r(bytes);
+  try {
+    if (r.u32() != kMagic) return "bad magic";
+    if (r.u32() != CheckpointStore::kFormatVersion) {
+      return "format version skew";
+    }
+    if (r.u64() != expected_digest) return "config digest mismatch";
+    unit = r.u64();
+    const std::uint64_t len = r.u64();
+    const std::uint32_t crc = r.u32();
+    if (r.remaining() != len) return "truncated payload";
+    payload = bytes.substr(kHeaderBytes);
+    if (crc32(payload) != crc) return "payload CRC mismatch";
+  } catch (const RunError&) {
+    return "truncated header";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir,
+                                 std::uint64_t config_digest)
+    : dir_(std::move(dir)), digest_(config_digest) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw RunError(ErrorCategory::kPermanent,
+                   "CheckpointStore: cannot create directory '" +
+                       dir_.string() + "': " + ec.message());
+  }
+}
+
+std::filesystem::path CheckpointStore::unit_path(std::uint64_t unit) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "unit-%06llu.ckpt",
+                static_cast<unsigned long long>(unit));
+  return dir_ / name;
+}
+
+CheckpointScan CheckpointStore::load() {
+  std::lock_guard lk(mutex_);
+  CheckpointScan scan;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::filesystem::path& file = entry.path();
+    if (file.extension() == ".tmp") {
+      // A write the crash interrupted before the rename; never valid.
+      std::filesystem::remove(file, ec);
+      ++scan.discarded;
+      continue;
+    }
+    if (file.extension() != ".ckpt") continue;  // foreign file: leave alone
+    std::uint64_t unit = 0;
+    std::string payload;
+    if (const char* why = read_unit_file(file, digest_, unit, payload)) {
+      diagnose(file, why);
+      std::filesystem::remove(file, ec);
+      ++scan.discarded;
+      continue;
+    }
+    units_[unit] = std::move(payload);
+    ++scan.loaded;
+  }
+  return scan;
+}
+
+void CheckpointStore::clear() {
+  std::lock_guard lk(mutex_);
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::filesystem::path& file = entry.path();
+    if (file.extension() == ".ckpt" || file.extension() == ".tmp") {
+      std::filesystem::remove(file, ec);
+    }
+  }
+  units_.clear();
+}
+
+void CheckpointStore::persist(std::uint64_t unit, std::string_view payload) {
+  const std::filesystem::path final_path = unit_path(unit);
+  std::filesystem::path tmp_path = final_path;
+  tmp_path += ".tmp";
+
+  const std::string header = header_bytes(digest_, unit, payload);
+  if (!write_durable(tmp_path, header, payload)) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path, ec);
+    throw RunError(ErrorCategory::kPermanent,
+                   "CheckpointStore: cannot write " + tmp_path.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    throw RunError(ErrorCategory::kPermanent,
+                   "CheckpointStore: cannot rename into " +
+                       final_path.string());
+  }
+  sync_dir(dir_);
+
+  std::lock_guard lk(mutex_);
+  units_[unit] = std::string(payload);
+}
+
+bool CheckpointStore::has(std::uint64_t unit) const {
+  std::lock_guard lk(mutex_);
+  return units_.contains(unit);
+}
+
+std::optional<std::string> CheckpointStore::restore(
+    std::uint64_t unit) const {
+  std::lock_guard lk(mutex_);
+  const auto it = units_.find(unit);
+  if (it == units_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t CheckpointStore::size() const {
+  std::lock_guard lk(mutex_);
+  return units_.size();
+}
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,72 @@
+#pragma once
+
+// Crash-safe checkpoint store for long campaigns (docs/ROBUSTNESS.md).
+//
+// One file per completed work unit (a fault trial, a sweep point, a
+// seven-year row), written atomically: payload goes to `unit-N.ckpt.tmp`,
+// is fsync'ed, then renamed over `unit-N.ckpt` — so a SIGKILL at any
+// instant leaves either the previous state or the complete new file, never
+// a torn one. Every file carries a magic, a format version, the campaign
+// configuration digest and a CRC-32 of the payload; load() discards (with
+// a one-line stderr diagnostic) anything truncated, corrupted, from an old
+// format or from a different configuration, which degrades to a clean
+// re-run of those units — never a crash, never a silently wrong result.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace agingsim::runtime {
+
+/// What load() found on disk.
+struct CheckpointScan {
+  std::size_t loaded = 0;     ///< valid units restored into memory
+  std::size_t discarded = 0;  ///< invalid/stale files removed
+};
+
+class CheckpointStore {
+ public:
+  /// Bumped whenever the on-disk layout changes; older files are discarded.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Creates `dir` (and parents) if needed. `config_digest` fingerprints
+  /// the campaign configuration (see Digest); units written under any
+  /// other digest are rejected at load(). Throws RunError(kPermanent) when
+  /// the directory cannot be created or is not writable.
+  CheckpointStore(std::filesystem::path dir, std::uint64_t config_digest);
+
+  /// Scans the directory and loads every valid unit; invalid or stale
+  /// files are deleted with a stderr diagnostic. Call once before run().
+  CheckpointScan load();
+
+  /// Removes every unit file (fresh-run semantics, the opposite of
+  /// --resume) and forgets loaded payloads.
+  void clear();
+
+  /// Atomically persists one completed unit. Thread-safe; later calls for
+  /// the same unit overwrite the earlier file.
+  void persist(std::uint64_t unit, std::string_view payload);
+
+  bool has(std::uint64_t unit) const;
+  /// Payload of a loaded/persisted unit, or nullopt. Copies out so callers
+  /// never hold references into the store across persist() calls.
+  std::optional<std::string> restore(std::uint64_t unit) const;
+
+  std::size_t size() const;
+  const std::filesystem::path& dir() const noexcept { return dir_; }
+  std::uint64_t config_digest() const noexcept { return digest_; }
+
+ private:
+  std::filesystem::path unit_path(std::uint64_t unit) const;
+
+  mutable std::mutex mutex_;
+  std::filesystem::path dir_;
+  std::uint64_t digest_;
+  std::map<std::uint64_t, std::string> units_;
+};
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,272 @@
+#include "src/runtime/robust_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace agingsim::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline enforcement thread. Attempts are armed with their CancelToken;
+/// the thread sleeps until the oldest armed deadline (all attempts share
+/// one deadline duration, so deadlines expire in arm order) and cancels
+/// whatever has expired. Cancellation is cooperative: the token flips, the
+/// task observes it at its next poll() and unwinds with
+/// RunError(kTimeout). A disabled watchdog (deadline 0) spawns no thread.
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::milliseconds deadline)
+      : deadline_(deadline) {
+    if (deadline_.count() > 0) {
+      thread_ = std::jthread([this](std::stop_token stop) { loop(stop); });
+    }
+  }
+
+  /// Registers one attempt; returns an id for disarm() (0 when disabled).
+  std::uint64_t arm(CancelToken* token) {
+    if (deadline_.count() <= 0) return 0;
+    std::lock_guard lk(mutex_);
+    const std::uint64_t id = ++next_id_;
+    armed_.emplace(id, Entry{token, Clock::now() + deadline_});
+    cv_.notify_all();
+    return id;
+  }
+
+  void disarm(std::uint64_t id) {
+    if (id == 0) return;
+    std::lock_guard lk(mutex_);
+    armed_.erase(id);
+  }
+
+ private:
+  struct Entry {
+    CancelToken* token;
+    Clock::time_point deadline;
+  };
+
+  void loop(std::stop_token stop) {
+    std::unique_lock lk(mutex_);
+    while (!stop.stop_requested()) {
+      const Clock::time_point now = Clock::now();
+      Clock::time_point earliest = Clock::time_point::max();
+      for (auto it = armed_.begin(); it != armed_.end();) {
+        if (it->second.deadline <= now) {
+          it->second.token->cancel();
+          it = armed_.erase(it);
+        } else {
+          earliest = std::min(earliest, it->second.deadline);
+          ++it;
+        }
+      }
+      if (earliest == Clock::time_point::max()) {
+        cv_.wait(lk, stop, [&] { return !armed_.empty(); });
+      } else {
+        cv_.wait_until(lk, stop, earliest, [] { return false; });
+      }
+    }
+  }
+
+  std::chrono::milliseconds deadline_;
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::map<std::uint64_t, Entry> armed_;
+  std::uint64_t next_id_ = 0;
+  std::jthread thread_;
+};
+
+void apply_chaos(const ChaosPolicy& chaos, std::uint64_t unit, int attempt,
+                 const CancelToken& cancel) {
+  switch (chaos.decide(unit, attempt)) {
+    case ChaosAction::kNone:
+      return;
+    case ChaosAction::kThrowTransient:
+      throw RunError(ErrorCategory::kTransient,
+                     "chaos: injected transient fault (unit " +
+                         std::to_string(unit) + ", attempt " +
+                         std::to_string(attempt) + ")");
+    case ChaosAction::kThrowPermanent:
+      throw RunError(ErrorCategory::kPermanent,
+                     "chaos: injected permanent fault (unit " +
+                         std::to_string(unit) + ")");
+    case ChaosAction::kStall: {
+      const Clock::time_point until = Clock::now() + chaos.stall_duration;
+      while (Clock::now() < until) {
+        cancel.poll();  // a watchdog cancellation ends the stall
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return;
+    }
+  }
+}
+
+long env_long(const char* name, long fallback, long min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < min_value) {
+    std::fprintf(stderr, "%s='%s' ignored (want integer >= %ld)\n", name,
+                 env, min_value);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace
+
+void CancelToken::poll() const {
+  if (cancelled()) {
+    throw RunError(ErrorCategory::kTimeout,
+                   "task cancelled by watchdog deadline");
+  }
+}
+
+RunnerConfig RunnerConfig::from_env() {
+  RunnerConfig config;
+  config.chaos = ChaosPolicy::from_env();
+  config.max_retries =
+      static_cast<int>(env_long("AGINGSIM_MAX_RETRIES", config.max_retries, 0));
+  config.deadline = std::chrono::milliseconds(
+      env_long("AGINGSIM_DEADLINE_MS", config.deadline.count(), 0));
+  return config;
+}
+
+std::string RunReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "units: %zu computed, %zu restored, %zu quarantined of %zu; "
+                "retries: %llu",
+                computed, restored, quarantined, units.size(),
+                static_cast<unsigned long long>(retries));
+  return buf;
+}
+
+RobustRunner::RobustRunner(RunnerConfig config) : config_(config) {
+  if (config_.max_retries < 0) {
+    throw RunError(ErrorCategory::kPermanent,
+                   "RobustRunner: max_retries must be >= 0");
+  }
+  if (!(config_.backoff_growth >= 1.0)) {
+    throw RunError(ErrorCategory::kPermanent,
+                   "RobustRunner: backoff_growth must be >= 1");
+  }
+}
+
+std::chrono::milliseconds RobustRunner::backoff_delay(
+    const RunnerConfig& config, int retry_index) {
+  const double ms =
+      static_cast<double>(config.backoff_base.count()) *
+      std::pow(config.backoff_growth, static_cast<double>(retry_index - 1));
+  const double capped =
+      std::min(ms, static_cast<double>(config.backoff_cap.count()));
+  return std::chrono::milliseconds(static_cast<long long>(capped));
+}
+
+std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
+                                           RunReport* report) {
+  RunReport local;
+  RunReport& rep = report != nullptr ? *report : local;
+  rep = RunReport{};
+  rep.units.assign(n, UnitOutcome{});
+  std::vector<std::string> payloads(n);
+
+  CheckpointStore* store = config_.checkpoints;
+  std::vector<std::uint64_t> pending;
+  pending.reserve(n);
+  for (std::uint64_t unit = 0; unit < n; ++unit) {
+    std::optional<std::string> restored;
+    if (store != nullptr) restored = store->restore(unit);
+    if (restored.has_value()) {
+      payloads[unit] = std::move(*restored);
+      rep.units[unit].state = UnitState::kRestored;
+    } else {
+      pending.push_back(unit);
+    }
+  }
+
+  // Chaos crash scheduling: die (std::_Exit) after a deterministic number
+  // of freshly persisted units. Armed only with a checkpoint store — a
+  // crash without checkpoints would just discard the campaign.
+  const std::uint64_t crash_after =
+      store != nullptr ? config_.chaos.crash_after_units(n - pending.size())
+                       : 0;
+  std::atomic<std::uint64_t> fresh_done{0};
+
+  Watchdog watchdog(config_.deadline);
+  const auto run_unit = [&](std::size_t pending_index) {
+    const std::uint64_t unit = pending[pending_index];
+    UnitOutcome& outcome = rep.units[unit];
+    for (int attempt = 0;; ++attempt) {
+      CancelToken cancel;
+      const std::uint64_t armed = watchdog.arm(&cancel);
+      ++outcome.attempts;
+      try {
+        apply_chaos(config_.chaos, unit, attempt, cancel);
+        std::string payload = task(unit, cancel);
+        watchdog.disarm(armed);
+        payloads[unit] = std::move(payload);
+        outcome.state = UnitState::kComputed;
+        if (store != nullptr) {
+          try {
+            store->persist(unit, payloads[unit]);
+          } catch (const RunError& e) {
+            // A dead disk must not kill a finished computation: the run
+            // continues, only resumability of this unit is lost.
+            std::fprintf(stderr, "checkpoint: persist failed: %s\n",
+                         e.what());
+          }
+          if (crash_after != 0 &&
+              fresh_done.fetch_add(1, std::memory_order_relaxed) + 1 >=
+                  crash_after) {
+            std::_Exit(kCrashExitCode);
+          }
+        }
+        return;
+      } catch (const RunError& e) {
+        watchdog.disarm(armed);
+        if (e.retryable() && attempt < config_.max_retries) {
+          std::this_thread::sleep_for(backoff_delay(config_, attempt + 1));
+          continue;
+        }
+        outcome.state = UnitState::kQuarantined;
+        outcome.category = e.category();
+        outcome.error = e.what();
+        return;
+      } catch (const std::exception& e) {
+        watchdog.disarm(armed);
+        outcome.state = UnitState::kQuarantined;
+        outcome.category = ErrorCategory::kPermanent;
+        outcome.error = e.what();
+        return;
+      }
+    }
+  };
+
+  if (config_.pool != nullptr) {
+    config_.pool->for_each_index(pending.size(), run_unit);
+  } else {
+    exec::ThreadPool pool;
+    pool.for_each_index(pending.size(), run_unit);
+  }
+
+  for (const UnitOutcome& outcome : rep.units) {
+    switch (outcome.state) {
+      case UnitState::kComputed: ++rep.computed; break;
+      case UnitState::kRestored: ++rep.restored; break;
+      case UnitState::kQuarantined: ++rep.quarantined; break;
+    }
+    if (outcome.attempts > 1) {
+      rep.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
+    }
+  }
+  return payloads;
+}
+
+}  // namespace agingsim::runtime

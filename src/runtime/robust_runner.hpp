@@ -1,0 +1,132 @@
+#pragma once
+
+// Crash-safe execution layer wrapped around exec::parallel_for_indexed
+// (docs/ROBUSTNESS.md). A campaign is n independent work units, each
+// producing a serialized payload; the runner
+//
+//  - skips units already present in an attached CheckpointStore (resume),
+//  - retries units that fail with a retryable RunError (transient/timeout)
+//    under exponential backoff, up to max_retries extra attempts,
+//  - quarantines poison units after the retry budget — the unit is
+//    recorded as failed in the RunReport and the campaign keeps going
+//    (graceful degradation, the harness analogue of the AHL storm
+//    fallback) — permanent/unclassified failures quarantine immediately,
+//  - arms a watchdog thread per attempt when a deadline is configured:
+//    past the deadline the task's CancelToken flips and a cooperative task
+//    observes it via poll(), which throws RunError(kTimeout),
+//  - persists every completed payload to the checkpoint store the moment
+//    it finishes, so a SIGKILL loses at most the in-flight units,
+//  - optionally schedules a chaos-simulated crash (ChaosPolicy, action
+//    'c') after a deterministic number of fresh units.
+//
+// Determinism contract: payloads are produced by the caller's task
+// function, which must be deterministic per unit; retries, thread counts,
+// restores and chaos only decide *whether/when* a unit runs, never what it
+// computes — so resumed, chaos-ridden and uninterrupted campaigns emit
+// byte-identical results for every non-quarantined unit.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/exec/thread_pool.hpp"
+#include "src/runtime/chaos.hpp"
+#include "src/runtime/checkpoint.hpp"
+#include "src/runtime/run_error.hpp"
+
+namespace agingsim::runtime {
+
+/// Cooperative cancellation flag shared between a task attempt and the
+/// watchdog. Long-running tasks call poll() at convenient boundaries.
+class CancelToken {
+ public:
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  /// Throws RunError(kTimeout) once the watchdog has cancelled the attempt.
+  void poll() const;
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+struct RunnerConfig {
+  /// Extra attempts after the first for retryable failures (0 = fail fast).
+  int max_retries = 3;
+  /// Per-attempt watchdog deadline; 0 disables the watchdog.
+  std::chrono::milliseconds deadline{0};
+  /// Backoff before retry k (1-based): base * growth^(k-1), capped.
+  std::chrono::milliseconds backoff_base{25};
+  double backoff_growth = 2.0;
+  std::chrono::milliseconds backoff_cap{2000};
+  ChaosPolicy chaos{};
+  /// Optional resume/persist store (not owned). Call load() before run().
+  CheckpointStore* checkpoints = nullptr;
+  /// Optional pool to fan out on (not owned); null = one-shot pool per run
+  /// honoring AGINGSIM_THREADS.
+  exec::ThreadPool* pool = nullptr;
+
+  /// Config with chaos from AGINGSIM_CHAOS plus AGINGSIM_MAX_RETRIES and
+  /// AGINGSIM_DEADLINE_MS overrides — how the bench binaries opt in
+  /// without growing flag parsers.
+  static RunnerConfig from_env();
+};
+
+enum class UnitState {
+  kComputed,     ///< executed (possibly after retries) this run
+  kRestored,     ///< loaded from the checkpoint store, not executed
+  kQuarantined,  ///< failed past the retry budget; payload empty
+};
+
+struct UnitOutcome {
+  UnitState state = UnitState::kComputed;
+  int attempts = 0;  ///< executions this run (0 for restored units)
+  ErrorCategory category = ErrorCategory::kTransient;  ///< quarantine cause
+  std::string error;  ///< last failure message (quarantined units)
+};
+
+struct RunReport {
+  std::vector<UnitOutcome> units;
+  std::size_t computed = 0;
+  std::size_t restored = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t retries = 0;  ///< total extra attempts across all units
+
+  bool all_ok() const noexcept { return quarantined == 0; }
+  /// One line for operators: "12 computed, 3 restored, 1 quarantined, ...".
+  std::string summary() const;
+};
+
+class RobustRunner {
+ public:
+  /// task(unit, cancel) returns the unit's serialized payload; it may
+  /// throw RunError to classify failures and should poll `cancel` if it
+  /// can run past a configured deadline.
+  using Task =
+      std::function<std::string(std::uint64_t unit, const CancelToken&)>;
+
+  explicit RobustRunner(RunnerConfig config = {});
+
+  /// Runs units [0, n); returns payloads in unit order (empty string for
+  /// quarantined units — check the report). Thread-safe per runner
+  /// instance in the same sense as ThreadPool::for_each_index: one run()
+  /// at a time.
+  std::vector<std::string> run(std::size_t n, const Task& task,
+                               RunReport* report = nullptr);
+
+  const RunnerConfig& config() const noexcept { return config_; }
+
+  /// Backoff before retry `retry_index` (1-based) under `config` — exposed
+  /// for tests so the schedule is a checked contract, not an accident.
+  static std::chrono::milliseconds backoff_delay(const RunnerConfig& config,
+                                                 int retry_index);
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,15 @@
+#include "src/runtime/run_error.hpp"
+
+namespace agingsim::runtime {
+
+std::string_view error_category_name(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kTransient: return "transient";
+    case ErrorCategory::kTimeout: return "timeout";
+    case ErrorCategory::kPermanent: return "permanent";
+    case ErrorCategory::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,43 @@
+#pragma once
+
+// Error taxonomy of the crash-safe campaign runtime (docs/ROBUSTNESS.md).
+// Worker tasks signal failures as RunError with a category that tells the
+// RobustRunner what to do: transient/timeout failures are retried with
+// exponential backoff, permanent and corrupt ones quarantine the work unit
+// immediately. Exceptions that are not RunError are treated as permanent —
+// an unclassified failure must not be retried blindly.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace agingsim::runtime {
+
+enum class ErrorCategory {
+  kTransient,  ///< retry may succeed (resource blip, chaos soft fault)
+  kTimeout,    ///< watchdog deadline expired; retried like a transient
+  kPermanent,  ///< deterministic failure; retrying cannot help
+  kCorrupt,    ///< data-integrity violation (checkpoint CRC, codec skew)
+};
+
+std::string_view error_category_name(ErrorCategory category);
+
+/// Whether the runner's retry-with-backoff policy applies to the category.
+constexpr bool is_retryable(ErrorCategory category) noexcept {
+  return category == ErrorCategory::kTransient ||
+         category == ErrorCategory::kTimeout;
+}
+
+class RunError : public std::runtime_error {
+ public:
+  RunError(ErrorCategory category, const std::string& what)
+      : std::runtime_error(what), category_(category) {}
+
+  ErrorCategory category() const noexcept { return category_; }
+  bool retryable() const noexcept { return is_retryable(category_); }
+
+ private:
+  ErrorCategory category_;
+};
+
+}  // namespace agingsim::runtime

@@ -1,0 +1,28 @@
+#pragma once
+
+// Bit-exact checkpoint codec for RunStats — the payload type of every
+// campaign work unit (a fault trial, a sweep point, a seven-year row).
+// Encoded records carry a field-count tag so schema drift between the
+// binary that wrote a checkpoint and the one restoring it is detected as
+// RunError(kCorrupt) instead of silently mis-decoded (docs/ROBUSTNESS.md).
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/vl_multiplier.hpp"
+
+namespace agingsim::runtime {
+
+std::string encode_run_stats(const RunStats& stats);
+/// Throws RunError(kCorrupt) on truncation, trailing bytes or field-count
+/// skew. decode(encode(s)) == s exactly (doubles via their bit patterns).
+RunStats decode_run_stats(std::string_view payload);
+
+/// Length-prefixed sequence of RunStats in one payload (e.g. the five
+/// designs of one seven-year row).
+std::string encode_run_stats_row(std::span<const RunStats> row);
+std::vector<RunStats> decode_run_stats_row(std::string_view payload);
+
+}  // namespace agingsim::runtime

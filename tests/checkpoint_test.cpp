@@ -1,0 +1,246 @@
+#include "src/runtime/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/runtime/run_error.hpp"
+#include "src/runtime/serial.hpp"
+
+namespace agingsim::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- serial.hpp primitives the checkpoint format is built on ------------
+
+TEST(SerialTest, Crc32KnownVector) {
+  // The IEEE 802.3 check value — pins the polynomial and reflection.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(SerialTest, ByteCodecRoundTripsBitExact) {
+  ByteWriter w;
+  w.u8(0x7F).u32(0xDEADBEEFu).u64(0x0123456789ABCDEFull).i64(-42);
+  w.f64(0.1).f64(-0.0).boolean(true).str("hello\0world");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0x7F);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(0.1));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()),
+            std::bit_cast<std::uint64_t>(-0.0));
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");  // C-string literal stops at the NUL
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(SerialTest, TruncatedReadThrowsCorrupt) {
+  ByteWriter w;
+  w.u32(7);
+  ByteReader r(w.data());
+  r.u32();
+  try {
+    r.u32();
+    FAIL() << "read past the end must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorrupt);
+  }
+}
+
+TEST(SerialTest, DigestSensitiveToOrderAndType) {
+  const auto d = [](auto&&... vs) {
+    Digest digest;
+    (digest.mix(vs), ...);
+    return digest.value();
+  };
+  EXPECT_NE(d(1, 2), d(2, 1));
+  EXPECT_NE(d(std::string_view("ab"), std::string_view("c")),
+            d(std::string_view("a"), std::string_view("bc")));
+  EXPECT_EQ(d(0.5, 7), d(0.5, 7));
+}
+
+// --- CheckpointStore ----------------------------------------------------
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("agingsim_ckpt_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path unit_file(std::uint64_t unit) const {
+    char name[32];
+    std::snprintf(name, sizeof name, "unit-%06llu.ckpt",
+                  static_cast<unsigned long long>(unit));
+    return dir_ / name;
+  }
+
+  std::string read_file(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void write_file(const fs::path& p, const std::string& bytes) const {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointStoreTest, PersistLoadRoundTripIncludingNulBytes) {
+  const std::string payload("bit-\0exact\xFF payload", 18);
+  {
+    CheckpointStore store(dir_, 0xD1CE5);
+    store.persist(3, payload);
+    store.persist(7, "seven");
+  }
+  CheckpointStore store(dir_, 0xD1CE5);
+  const CheckpointScan scan = store.load();
+  EXPECT_EQ(scan.loaded, 2u);
+  EXPECT_EQ(scan.discarded, 0u);
+  EXPECT_EQ(store.restore(3), payload);
+  EXPECT_EQ(store.restore(7), "seven");
+  EXPECT_FALSE(store.restore(4).has_value());
+  EXPECT_TRUE(store.has(7));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST_F(CheckpointStoreTest, PersistLeavesNoTempFiles) {
+  CheckpointStore store(dir_, 1);
+  store.persist(0, "x");
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+TEST_F(CheckpointStoreTest, ClearRemovesUnitFiles) {
+  CheckpointStore store(dir_, 1);
+  store.persist(0, "x");
+  store.persist(1, "y");
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  CheckpointStore fresh(dir_, 1);
+  EXPECT_EQ(fresh.load().loaded, 0u);
+}
+
+// Each corruption case must degrade to "discard + re-run", never to a
+// crash or a silently wrong payload: the scan reports one discarded file,
+// the file is gone from disk, and a subsequent persist works normally.
+TEST_F(CheckpointStoreTest, TruncatedFileIsDiscarded) {
+  {
+    CheckpointStore store(dir_, 9);
+    store.persist(0, "some payload bytes");
+  }
+  const std::string bytes = read_file(unit_file(0));
+  write_file(unit_file(0), bytes.substr(0, bytes.size() - 5));
+
+  CheckpointStore store(dir_, 9);
+  testing::internal::CaptureStderr();
+  const CheckpointScan scan = store.load();
+  const std::string diag = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(scan.loaded, 0u);
+  EXPECT_EQ(scan.discarded, 1u);
+  EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("re-run"), std::string::npos) << diag;
+  EXPECT_FALSE(fs::exists(unit_file(0)));
+  store.persist(0, "fresh");  // clean re-run persists over the wreckage
+  EXPECT_EQ(store.restore(0), "fresh");
+}
+
+TEST_F(CheckpointStoreTest, PayloadCrcMismatchIsDiscarded) {
+  {
+    CheckpointStore store(dir_, 9);
+    store.persist(0, "some payload bytes");
+  }
+  std::string bytes = read_file(unit_file(0));
+  bytes[bytes.size() - 1] ^= 0x01;  // flip one payload bit
+  write_file(unit_file(0), bytes);
+
+  CheckpointStore store(dir_, 9);
+  testing::internal::CaptureStderr();
+  const CheckpointScan scan = store.load();
+  const std::string diag = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(scan.discarded, 1u);
+  EXPECT_NE(diag.find("CRC mismatch"), std::string::npos) << diag;
+  EXPECT_FALSE(fs::exists(unit_file(0)));
+}
+
+TEST_F(CheckpointStoreTest, FormatVersionSkewIsDiscarded) {
+  {
+    CheckpointStore store(dir_, 9);
+    store.persist(0, "payload");
+  }
+  std::string bytes = read_file(unit_file(0));
+  bytes[4] = static_cast<char>(CheckpointStore::kFormatVersion + 1);
+  write_file(unit_file(0), bytes);
+
+  CheckpointStore store(dir_, 9);
+  testing::internal::CaptureStderr();
+  const CheckpointScan scan = store.load();
+  const std::string diag = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(scan.discarded, 1u);
+  EXPECT_NE(diag.find("format version skew"), std::string::npos) << diag;
+}
+
+TEST_F(CheckpointStoreTest, ConfigDigestMismatchIsDiscarded) {
+  {
+    CheckpointStore store(dir_, 0xAAAA);
+    store.persist(0, "payload");
+  }
+  CheckpointStore store(dir_, 0xBBBB);  // different campaign configuration
+  testing::internal::CaptureStderr();
+  const CheckpointScan scan = store.load();
+  const std::string diag = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(scan.loaded, 0u);
+  EXPECT_EQ(scan.discarded, 1u);
+  EXPECT_NE(diag.find("config digest mismatch"), std::string::npos) << diag;
+}
+
+TEST_F(CheckpointStoreTest, BadMagicIsDiscardedAndForeignFilesKept) {
+  CheckpointStore setup(dir_, 9);
+  setup.persist(0, "payload");
+  write_file(dir_ / "unit-000001.ckpt", "not a checkpoint at all");
+  write_file(dir_ / "notes.txt", "operator notes survive");
+  write_file(dir_ / "unit-000002.ckpt.tmp", "torn write");
+
+  CheckpointStore store(dir_, 9);
+  testing::internal::CaptureStderr();
+  const CheckpointScan scan = store.load();
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(scan.loaded, 1u);
+  EXPECT_EQ(scan.discarded, 2u);  // bad magic + orphaned .tmp
+  EXPECT_TRUE(fs::exists(dir_ / "notes.txt"));
+  EXPECT_FALSE(fs::exists(dir_ / "unit-000002.ckpt.tmp"));
+}
+
+TEST_F(CheckpointStoreTest, UnusableDirectoryThrowsPermanent) {
+  write_file(dir_.parent_path() / "agingsim_ckpt_file_in_the_way", "x");
+  const fs::path blocked =
+      dir_.parent_path() / "agingsim_ckpt_file_in_the_way" / "sub";
+  try {
+    CheckpointStore store(blocked, 1);
+    FAIL() << "directory creation through a file must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kPermanent);
+  }
+  fs::remove(dir_.parent_path() / "agingsim_ckpt_file_in_the_way");
+}
+
+}  // namespace
+}  // namespace agingsim::runtime

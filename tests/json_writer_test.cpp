@@ -1,0 +1,89 @@
+#include "src/report/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace agingsim {
+namespace {
+
+TEST(JsonWriterTest, EmitsOrderedObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("vlcb");
+  json.key("width").value(16);
+  json.key("ratio").value(0.5);
+  json.key("ok").value(true);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n  \"name\": \"vlcb\",\n  \"width\": 16,\n"
+            "  \"ratio\": 0.5,\n  \"ok\": true\n}");
+}
+
+// A campaign statistic can legitimately be NaN (0/0 normalization) or Inf
+// (degenerate baseline); "NaN" is not JSON and would make every downstream
+// parser reject the whole report. The writer must degrade those values to
+// null, which parsers handle natively.
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("nan").value(std::nan(""));
+  json.key("pos_inf").value(std::numeric_limits<double>::infinity());
+  json.key("neg_inf").value(-std::numeric_limits<double>::infinity());
+  json.key("finite").value(1.25);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n  \"nan\": null,\n  \"pos_inf\": null,\n"
+            "  \"neg_inf\": null,\n  \"finite\": 1.25\n}");
+}
+
+TEST(JsonWriterTest, NonFiniteInArraysBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.value(2.0);
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[\n  null,\n  2,\n  null\n]");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsShortestForm) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1);
+  json.value(1880.0);
+  json.value(-0.0);
+  json.end_array();
+  EXPECT_EQ(json.str(), "[\n  0.1,\n  1880,\n  -0\n]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("msg").value("a \"b\"\n\tc\\");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\n  \"msg\": \"a \\\"b\\\"\\n\\tc\\\\\"\n}");
+}
+
+TEST(JsonWriterTest, MisuseThrowsInsteadOfEmittingBadJson) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), std::logic_error);  // unbalanced container
+  }
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -1,0 +1,467 @@
+#include "src/runtime/robust_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/fault/campaign.hpp"
+#include "src/runtime/serial.hpp"
+#include "src/runtime/stats_codec.hpp"
+
+namespace agingsim::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+RunnerConfig fast_config() {
+  RunnerConfig config;
+  config.backoff_base = milliseconds(1);
+  config.backoff_cap = milliseconds(4);
+  return config;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              (std::string("agingsim_runner_test_") + tag)) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(RobustRunnerTest, PayloadsComeBackInUnitOrder) {
+  RobustRunner runner(fast_config());
+  RunReport report;
+  const auto payloads = runner.run(
+      17,
+      [](std::uint64_t unit, const CancelToken&) {
+        return "payload-" + std::to_string(unit);
+      },
+      &report);
+  ASSERT_EQ(payloads.size(), 17u);
+  for (std::uint64_t unit = 0; unit < 17; ++unit) {
+    EXPECT_EQ(payloads[unit], "payload-" + std::to_string(unit));
+    EXPECT_EQ(report.units[unit].state, UnitState::kComputed);
+    EXPECT_EQ(report.units[unit].attempts, 1);
+  }
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.computed, 17u);
+  EXPECT_EQ(report.retries, 0u);
+}
+
+TEST(RobustRunnerTest, TransientFailuresAreRetriedWithBackoff) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 3;
+  RobustRunner runner(config);
+  std::atomic<int> calls{0};
+  RunReport report;
+  const auto payloads = runner.run(
+      1,
+      [&](std::uint64_t, const CancelToken&) -> std::string {
+        if (calls.fetch_add(1) < 2) {
+          throw RunError(ErrorCategory::kTransient, "blip");
+        }
+        return "recovered";
+      },
+      &report);
+  EXPECT_EQ(payloads[0], "recovered");
+  EXPECT_EQ(report.units[0].state, UnitState::kComputed);
+  EXPECT_EQ(report.units[0].attempts, 3);
+  EXPECT_EQ(report.retries, 2u);
+}
+
+TEST(RobustRunnerTest, PermanentFailureQuarantinesWithoutAbortingSiblings) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 5;  // must not be spent on a permanent failure
+  RobustRunner runner(config);
+  RunReport report;
+  const auto payloads = runner.run(
+      8,
+      [](std::uint64_t unit, const CancelToken&) -> std::string {
+        if (unit == 3) {
+          throw RunError(ErrorCategory::kPermanent, "poison unit");
+        }
+        return std::to_string(unit * unit);
+      },
+      &report);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.units[3].state, UnitState::kQuarantined);
+  EXPECT_EQ(report.units[3].attempts, 1);  // no retry for permanent
+  EXPECT_EQ(report.units[3].category, ErrorCategory::kPermanent);
+  EXPECT_EQ(report.units[3].error, "poison unit");
+  EXPECT_TRUE(payloads[3].empty());
+  for (std::uint64_t unit = 0; unit < 8; ++unit) {
+    if (unit == 3) continue;
+    EXPECT_EQ(payloads[unit], std::to_string(unit * unit));
+  }
+}
+
+TEST(RobustRunnerTest, RetryBudgetExhaustionQuarantines) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 2;
+  RobustRunner runner(config);
+  RunReport report;
+  runner.run(
+      1,
+      [](std::uint64_t, const CancelToken&) -> std::string {
+        throw RunError(ErrorCategory::kTransient, "never recovers");
+      },
+      &report);
+  EXPECT_EQ(report.units[0].state, UnitState::kQuarantined);
+  EXPECT_EQ(report.units[0].attempts, 3);  // 1 + max_retries
+  EXPECT_EQ(report.units[0].category, ErrorCategory::kTransient);
+}
+
+TEST(RobustRunnerTest, UnclassifiedExceptionIsPermanent) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 5;
+  RobustRunner runner(config);
+  RunReport report;
+  runner.run(
+      1,
+      [](std::uint64_t, const CancelToken&) -> std::string {
+        throw std::runtime_error("who knows what this is");
+      },
+      &report);
+  EXPECT_EQ(report.units[0].state, UnitState::kQuarantined);
+  EXPECT_EQ(report.units[0].attempts, 1);  // never retried blindly
+  EXPECT_EQ(report.units[0].category, ErrorCategory::kPermanent);
+  EXPECT_EQ(report.units[0].error, "who knows what this is");
+}
+
+TEST(RobustRunnerTest, WatchdogCancelsCooperativeStallThenRetrySucceeds) {
+  RunnerConfig config = fast_config();
+  config.deadline = milliseconds(30);
+  config.max_retries = 1;
+  RobustRunner runner(config);
+  std::atomic<int> calls{0};
+  RunReport report;
+  const auto payloads = runner.run(
+      1,
+      [&](std::uint64_t, const CancelToken& cancel) -> std::string {
+        if (calls.fetch_add(1) == 0) {
+          // Stall far past the deadline, but cooperatively: the watchdog
+          // flips the token and poll() unwinds with RunError(kTimeout).
+          const auto until =
+              std::chrono::steady_clock::now() + std::chrono::seconds(10);
+          while (std::chrono::steady_clock::now() < until) {
+            cancel.poll();
+            std::this_thread::sleep_for(milliseconds(1));
+          }
+        }
+        return "made it";
+      },
+      &report);
+  EXPECT_EQ(payloads[0], "made it");
+  EXPECT_EQ(report.units[0].state, UnitState::kComputed);
+  EXPECT_EQ(report.units[0].attempts, 2);  // timeout is retryable
+}
+
+TEST(RobustRunnerTest, CancelTokenPollThrowsOnlyAfterCancel) {
+  CancelToken token;
+  EXPECT_NO_THROW(token.poll());
+  token.cancel();
+  try {
+    token.poll();
+    FAIL() << "poll after cancel must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kTimeout);
+  }
+}
+
+TEST(RobustRunnerTest, BackoffScheduleIsExponentialAndCapped) {
+  RunnerConfig config;
+  config.backoff_base = milliseconds(25);
+  config.backoff_growth = 2.0;
+  config.backoff_cap = milliseconds(2000);
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 1), milliseconds(25));
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 2), milliseconds(50));
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 3), milliseconds(100));
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 7), milliseconds(1600));
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 8), milliseconds(2000));
+  EXPECT_EQ(RobustRunner::backoff_delay(config, 20), milliseconds(2000));
+}
+
+TEST(RobustRunnerTest, InvalidConfigIsRejected) {
+  RunnerConfig config;
+  config.max_retries = -1;
+  EXPECT_THROW(RobustRunner{config}, RunError);
+  config = RunnerConfig{};
+  config.backoff_growth = 0.5;
+  EXPECT_THROW(RobustRunner{config}, RunError);
+}
+
+TEST(RobustRunnerTest, ResumeRestoresEveryUnitWithoutRecomputing) {
+  TempDir dir("full_resume");
+  const auto task = [](std::uint64_t unit, const CancelToken&) {
+    return "unit " + std::to_string(unit) + " data";
+  };
+  std::vector<std::string> first;
+  {
+    CheckpointStore store(dir.path(), 0xC0FFEE);
+    store.load();
+    RunnerConfig config = fast_config();
+    config.checkpoints = &store;
+    first = RobustRunner(config).run(9, task);
+  }
+  CheckpointStore store(dir.path(), 0xC0FFEE);
+  EXPECT_EQ(store.load().loaded, 9u);
+  RunnerConfig config = fast_config();
+  config.checkpoints = &store;
+  std::atomic<int> recomputed{0};
+  RunReport report;
+  const auto second = RobustRunner(config).run(
+      9,
+      [&](std::uint64_t unit, const CancelToken& cancel) {
+        recomputed.fetch_add(1);
+        return task(unit, cancel);
+      },
+      &report);
+  EXPECT_EQ(recomputed.load(), 0);
+  EXPECT_EQ(report.restored, 9u);
+  EXPECT_EQ(report.computed, 0u);
+  EXPECT_EQ(second, first);
+}
+
+TEST(RobustRunnerTest, PartialResumeComputesOnlyMissingUnits) {
+  TempDir dir("partial_resume");
+  CheckpointStore store(dir.path(), 1);
+  store.persist(1, "restored-1");
+  store.persist(3, "restored-3");
+  RunnerConfig config = fast_config();
+  config.checkpoints = &store;
+  RunReport report;
+  const auto payloads = RobustRunner(config).run(
+      5,
+      [](std::uint64_t unit, const CancelToken&) {
+        return "computed-" + std::to_string(unit);
+      },
+      &report);
+  EXPECT_EQ(report.restored, 2u);
+  EXPECT_EQ(report.computed, 3u);
+  EXPECT_EQ(payloads[0], "computed-0");
+  EXPECT_EQ(payloads[1], "restored-1");  // restored payload wins
+  EXPECT_EQ(payloads[2], "computed-2");
+  EXPECT_EQ(payloads[3], "restored-3");
+  EXPECT_EQ(payloads[4], "computed-4");
+  // The freshly computed units are now persisted too.
+  EXPECT_EQ(store.size(), 5u);
+}
+
+TEST(RobustRunnerTest, TransientChaosConvergesToChaosFreePayloads) {
+  const auto task = [](std::uint64_t unit, const CancelToken&) {
+    return "deterministic " + std::to_string(unit * 31 + 7);
+  };
+  const auto clean = RobustRunner(fast_config()).run(24, task);
+
+  RunnerConfig config = fast_config();
+  const auto chaos = ChaosPolicy::parse("3:0.3");  // transient throws only
+  ASSERT_TRUE(chaos.has_value());
+  config.chaos = *chaos;
+  config.max_retries = 10;
+  RunReport report;
+  const auto under_chaos = RobustRunner(config).run(24, task, &report);
+  EXPECT_TRUE(report.all_ok()) << report.summary();
+  EXPECT_GT(report.retries, 0u);  // chaos actually fired
+  EXPECT_EQ(under_chaos, clean);
+}
+
+TEST(RobustRunnerTest, ReportSummaryIsOneReadableLine) {
+  RunReport report;
+  RobustRunner(fast_config())
+      .run(
+          3,
+          [](std::uint64_t unit, const CancelToken&) -> std::string {
+            if (unit == 2) throw RunError(ErrorCategory::kPermanent, "x");
+            return "ok";
+          },
+          &report);
+  const std::string line = report.summary();
+  EXPECT_NE(line.find("2 computed"), std::string::npos) << line;
+  EXPECT_NE(line.find("1 quarantined"), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+}
+
+// --- integration with the campaign layers -------------------------------
+
+class RuntimeIntegrationTest : public ::testing::Test {
+ protected:
+  RuntimeIntegrationTest()
+      : mult_(build_column_bypass_multiplier(4)),
+        pats_(bench::workload(4, 60)) {
+    system_.period_ps = 0.6 * critical_path_ps(mult_, bench::tech());
+    system_.ahl.width = 4;
+    system_.ahl.skip = 2;
+    campaign_config_.kind = FaultKind::kDelayOutlier;
+    campaign_config_.trials = 6;
+    campaign_config_.sites_per_trial = 1;
+    campaign_config_.delay_factor = 6.0;
+    campaign_config_.seed = 0xBEEF;
+  }
+
+  MultiplierNetlist mult_;
+  std::vector<OperandPattern> pats_;
+  VlSystemConfig system_;
+  FaultCampaignConfig campaign_config_;
+};
+
+TEST_F(RuntimeIntegrationTest, CampaignRunnerPathMatchesPlainPath) {
+  const FaultCampaign campaign(mult_, bench::tech(), system_,
+                               campaign_config_);
+  const FaultCampaignStats plain = campaign.run(pats_);
+  RobustRunner runner(fast_config());
+  RunReport report;
+  const FaultCampaignStats robust = campaign.run(
+      pats_, CampaignRunOptions{.runner = &runner, .report = &report});
+  EXPECT_EQ(robust, plain);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.units.size(),
+            static_cast<std::size_t>(campaign_config_.trials) + 1);
+}
+
+TEST_F(RuntimeIntegrationTest, CampaignResumeReproducesStatsExactly) {
+  TempDir dir("campaign_resume");
+  const FaultCampaign campaign(mult_, bench::tech(), system_,
+                               campaign_config_);
+  const std::uint64_t digest = campaign.config_digest(pats_);
+  FaultCampaignStats first;
+  {
+    CheckpointStore store(dir.path(), digest);
+    store.load();
+    RunnerConfig config = fast_config();
+    config.checkpoints = &store;
+    RobustRunner runner(config);
+    first = campaign.run(pats_, CampaignRunOptions{.runner = &runner});
+  }
+  CheckpointStore store(dir.path(), digest);
+  EXPECT_EQ(store.load().loaded,
+            static_cast<std::size_t>(campaign_config_.trials) + 1);
+  RunnerConfig config = fast_config();
+  config.checkpoints = &store;
+  RobustRunner runner(config);
+  RunReport report;
+  const FaultCampaignStats resumed = campaign.run(
+      pats_, CampaignRunOptions{.runner = &runner, .report = &report});
+  EXPECT_EQ(resumed, first);
+  EXPECT_EQ(report.computed, 0u);
+}
+
+TEST_F(RuntimeIntegrationTest, QuarantinedTrialsAreAccountedNotAborted) {
+  // Permanent-only chaos: a unit is quarantined iff its first attempt draws
+  // an injection. Pick a seed (deterministically) where the baseline
+  // (unit 0) is spared and at least one trial is hit.
+  ChaosPolicy chaos;
+  chaos.rate = 0.3;
+  chaos.throw_transient = false;
+  chaos.throw_permanent = true;
+  std::size_t expect_quarantined = 0;
+  for (std::uint64_t seed = 1; seed < 200; ++seed) {
+    chaos.seed = seed;
+    if (chaos.decide(0, 0) != ChaosAction::kNone) continue;
+    std::size_t hit = 0;
+    for (std::uint64_t unit = 1;
+         unit <= static_cast<std::uint64_t>(campaign_config_.trials);
+         ++unit) {
+      if (chaos.decide(unit, 0) != ChaosAction::kNone) ++hit;
+    }
+    if (hit > 0) {
+      expect_quarantined = hit;
+      break;
+    }
+  }
+  ASSERT_GT(expect_quarantined, 0u) << "no suitable chaos seed found";
+
+  const FaultCampaign campaign(mult_, bench::tech(), system_,
+                               campaign_config_);
+  RunnerConfig config = fast_config();
+  config.chaos = chaos;
+  RobustRunner runner(config);
+  RunReport report;
+  const FaultCampaignStats stats = campaign.run(
+      pats_, CampaignRunOptions{.runner = &runner, .report = &report});
+  EXPECT_EQ(stats.trials_quarantined, expect_quarantined);
+  EXPECT_EQ(stats.trials + stats.trials_quarantined,
+            static_cast<std::uint64_t>(campaign_config_.trials));
+  EXPECT_EQ(report.quarantined, expect_quarantined);
+  EXPECT_GT(stats.ops, 0u);  // surviving trials still aggregated
+}
+
+TEST_F(RuntimeIntegrationTest, BaselineQuarantineThrowsPermanent) {
+  ChaosPolicy chaos;
+  chaos.rate = 1.0;  // every unit, including the baseline
+  chaos.throw_transient = false;
+  chaos.throw_permanent = true;
+  chaos.seed = 7;
+  const FaultCampaign campaign(mult_, bench::tech(), system_,
+                               campaign_config_);
+  RunnerConfig config = fast_config();
+  config.chaos = chaos;
+  RobustRunner runner(config);
+  try {
+    campaign.run(pats_, CampaignRunOptions{.runner = &runner});
+    FAIL() << "baseline quarantine must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kPermanent);
+    EXPECT_NE(std::string(e.what()).find("baseline"), std::string::npos);
+  }
+}
+
+TEST_F(RuntimeIntegrationTest, SweepPeriodsRunnerPathMatchesPlain) {
+  const auto trace = compute_op_trace(mult_, bench::tech(), pats_);
+  const double crit = critical_path_ps(mult_, bench::tech());
+  const auto periods = bench::linspace(0.5 * crit, 1.0 * crit, 5);
+  const auto plain =
+      bench::sweep_periods(mult_, trace, periods, 2, true);
+  RobustRunner runner(fast_config());
+  RunReport report;
+  const auto robust = bench::sweep_periods(mult_, trace, periods, 2, true,
+                                           0.0, nullptr, &runner, &report);
+  ASSERT_EQ(robust.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(robust[i], plain[i]) << "sweep point " << i;
+  }
+  EXPECT_TRUE(report.all_ok());
+}
+
+TEST_F(RuntimeIntegrationTest, RunStatsCodecRoundTripsBitExact) {
+  const auto trace = compute_op_trace(mult_, bench::tech(), pats_);
+  VariableLatencySystem sys(mult_, bench::tech(), system_);
+  const RunStats stats = sys.run(trace, 0.01);
+  const RunStats decoded = decode_run_stats(encode_run_stats(stats));
+  EXPECT_EQ(decoded, stats);
+
+  const std::vector<RunStats> row{stats, RunStats{}};
+  const std::vector<RunStats> decoded_row =
+      decode_run_stats_row(encode_run_stats_row(row));
+  ASSERT_EQ(decoded_row.size(), 2u);
+  EXPECT_EQ(decoded_row[0], stats);
+  EXPECT_EQ(decoded_row[1], RunStats{});
+}
+
+TEST_F(RuntimeIntegrationTest, CodecRejectsFieldCountSkewAsCorrupt) {
+  ByteWriter w;
+  w.u32(7);  // wrong field-count tag
+  try {
+    decode_run_stats(w.data());
+    FAIL() << "field-count skew must be classified corrupt";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kCorrupt);
+  }
+}
+
+}  // namespace
+}  // namespace agingsim::runtime

@@ -147,5 +147,32 @@ TEST(ThreadPoolTest, DefaultThreadCountIgnoresGarbageEnv) {
   }
 }
 
+TEST(ThreadPoolTest, RejectedThreadsEnvWarnsOnceOnStderr) {
+  // Use values no other test has seen: the warning is deduplicated per
+  // distinct bad value, so a repeat from an earlier test would be silent.
+  ScopedThreadsEnv env("bogus-thread-count");
+  testing::internal::CaptureStderr();
+  default_thread_count();
+  default_thread_count();  // same value again: no second line
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("AGINGSIM_THREADS='bogus-thread-count'"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(err.find("using hardware concurrency"), std::string::npos) << err;
+  EXPECT_EQ(err.find("AGINGSIM_THREADS",
+                     err.find("AGINGSIM_THREADS") + 1),
+            std::string::npos)
+      << "warning repeated for the same value: " << err;
+}
+
+TEST(ThreadPoolTest, ClampedThreadsEnvWarnsOnStderr) {
+  ScopedThreadsEnv env("65536");
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(default_thread_count(), 256);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("AGINGSIM_THREADS='65536'"), std::string::npos) << err;
+  EXPECT_NE(err.find("clamped"), std::string::npos) << err;
+}
+
 }  // namespace
 }  // namespace agingsim::exec

@@ -1,0 +1,423 @@
+// agingrun — crash-safe campaign runner (docs/ROBUSTNESS.md).
+//
+// Front-end of the src/runtime/ execution layer: runs a FaultCampaign (or
+// a period sweep) under the RobustRunner with checkpoint/resume, watchdog
+// deadlines, retry-with-backoff, poison-task quarantine and deterministic
+// chaos injection. A run killed at any instant (SIGKILL, OOM, chaos crash)
+// and restarted with --resume completes the remaining work units and
+// emits JSON byte-identical to an uninterrupted run — the property the CI
+// kill-and-resume job asserts with cmp(1).
+//
+// Exit codes: 0 = campaign complete, every unit ok;
+//             1 = campaign complete but some units quarantined;
+//             2 = usage error;
+//             3 = checkpoint directory unusable;
+//             86 = chaos-simulated crash (resume loops restart on this).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "src/fault/campaign.hpp"
+#include "src/report/json.hpp"
+#include "src/runtime/chaos.hpp"
+#include "src/runtime/checkpoint.hpp"
+#include "src/runtime/robust_runner.hpp"
+#include "src/runtime/serial.hpp"
+
+namespace {
+
+using namespace agingsim;
+
+struct Options {
+  std::string campaign = "fault";  // fault | sweep
+  int width = 16;
+  int trials = 48;
+  std::size_t ops = 1500;
+  int sites_per_trial = 2;
+  FaultKind kind = FaultKind::kDelayOutlier;
+  double delay_factor = 8.0;
+  std::uint64_t seed = 0xFA17;
+  double period_frac = 0.58;  // of the fresh critical path
+  int sweep_points = 32;
+  std::string checkpoint_dir;
+  bool resume = false;
+  long deadline_ms = 0;
+  int max_retries = 3;
+  long backoff_ms = 25;
+  std::string chaos_spec;  // empty = AGINGSIM_CHAOS / none
+  std::string json_path = "-";
+  bool quiet = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: agingrun [options]\n"
+        "  --campaign NAME    fault (trial campaign) or sweep (period sweep)"
+        " [fault]\n"
+        "  --width N          multiplier width in [2,32] [16]\n"
+        "  --trials N         fault trials [48]\n"
+        "  --ops N            operations per trial [1500]\n"
+        "  --sites N          fault sites per trial [2]\n"
+        "  --kind NAME        stuck0|stuck1|transient|delay [delay]\n"
+        "  --delay-factor F   delay multiplier for kind=delay [8.0]\n"
+        "  --seed S           campaign seed [0xFA17]\n"
+        "  --period-frac F    cycle period as a fraction of the fresh\n"
+        "                     critical path [0.58]\n"
+        "  --sweep-points N   points for --campaign sweep [32]\n"
+        "  --checkpoint-dir D persist completed units under D (enables\n"
+        "                     crash-safety; no dir = in-memory only)\n"
+        "  --resume           keep and reuse existing checkpoints (without\n"
+        "                     this flag a fresh run clears the directory)\n"
+        "  --deadline-ms N    per-attempt watchdog deadline, 0 = off [0]\n"
+        "  --max-retries N    retry budget for transient failures [3]\n"
+        "  --backoff-ms N     base backoff before the first retry [25]\n"
+        "  --chaos SPEC       seed:rate[:actions], actions in [tpsc]\n"
+        "                     (overrides AGINGSIM_CHAOS)\n"
+        "  --json PATH        write campaign JSON to PATH ('-' = stdout)\n"
+        "  --quiet            suppress the runtime summary on stderr\n"
+        "  --help             this text\n";
+}
+
+std::optional<FaultKind> parse_kind(const std::string& name) {
+  if (name == "stuck0") return FaultKind::kStuckAt0;
+  if (name == "stuck1") return FaultKind::kStuckAt1;
+  if (name == "transient") return FaultKind::kTransient;
+  if (name == "delay") return FaultKind::kDelayOutlier;
+  return std::nullopt;
+}
+
+std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "agingrun: " << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    const auto need_long = [&](const char* flag, long min_v,
+                               long& out) -> bool {
+      const auto v = need_value(flag);
+      if (!v) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(v->c_str(), &end, 0);
+      if (end == v->c_str() || *end != '\0' || parsed < min_v) {
+        std::cerr << "agingrun: " << flag << " wants an integer >= " << min_v
+                  << ", got '" << *v << "'\n";
+        return false;
+      }
+      out = parsed;
+      return true;
+    };
+    long parsed = 0;
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      exit_code = 0;
+      return std::nullopt;
+    }
+    if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--campaign") {
+      const auto v = need_value("--campaign");
+      if (!v || (*v != "fault" && *v != "sweep")) {
+        std::cerr << "agingrun: --campaign wants fault|sweep\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.campaign = *v;
+    } else if (arg == "--width") {
+      if (!need_long("--width", 2, parsed) || parsed > 32) {
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.width = static_cast<int>(parsed);
+    } else if (arg == "--trials") {
+      if (!need_long("--trials", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.trials = static_cast<int>(parsed);
+    } else if (arg == "--ops") {
+      if (!need_long("--ops", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.ops = static_cast<std::size_t>(parsed);
+    } else if (arg == "--sites") {
+      if (!need_long("--sites", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.sites_per_trial = static_cast<int>(parsed);
+    } else if (arg == "--kind") {
+      const auto v = need_value("--kind");
+      const auto kind = v ? parse_kind(*v) : std::nullopt;
+      if (!kind) {
+        std::cerr << "agingrun: --kind wants stuck0|stuck1|transient|delay\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.kind = *kind;
+    } else if (arg == "--delay-factor") {
+      const auto v = need_value("--delay-factor");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.delay_factor = std::atof(v->c_str());
+      if (!(opt.delay_factor > 0.0)) {
+        std::cerr << "agingrun: --delay-factor must be > 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+    } else if (arg == "--seed") {
+      const auto v = need_value("--seed");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.seed = std::strtoull(v->c_str(), nullptr, 0);
+    } else if (arg == "--period-frac") {
+      const auto v = need_value("--period-frac");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.period_frac = std::atof(v->c_str());
+      if (!(opt.period_frac > 0.0)) {
+        std::cerr << "agingrun: --period-frac must be > 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+    } else if (arg == "--sweep-points") {
+      if (!need_long("--sweep-points", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.sweep_points = static_cast<int>(parsed);
+    } else if (arg == "--checkpoint-dir") {
+      const auto v = need_value("--checkpoint-dir");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.checkpoint_dir = *v;
+    } else if (arg == "--deadline-ms") {
+      if (!need_long("--deadline-ms", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.deadline_ms = parsed;
+    } else if (arg == "--max-retries") {
+      if (!need_long("--max-retries", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.max_retries = static_cast<int>(parsed);
+    } else if (arg == "--backoff-ms") {
+      if (!need_long("--backoff-ms", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.backoff_ms = parsed;
+    } else if (arg == "--chaos") {
+      const auto v = need_value("--chaos");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.chaos_spec = *v;
+    } else if (arg == "--json") {
+      const auto v = need_value("--json");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.json_path = *v;
+    } else {
+      std::cerr << "agingrun: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      exit_code = 2;
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+void emit_stats(JsonWriter& json, const FaultCampaignStats& s) {
+  json.key("trials").value(s.trials);
+  json.key("trials_quarantined").value(s.trials_quarantined);
+  json.key("ops").value(s.ops);
+  json.key("faults_injected").value(s.faults_injected);
+  json.key("detected_violations").value(s.detected_violations);
+  json.key("escaped_violations").value(s.escaped_violations);
+  json.key("uncovered_violations").value(s.uncovered_violations);
+  json.key("detection_coverage").value(s.detection_coverage);
+  json.key("sdc_ops").value(s.sdc_ops);
+  json.key("sdc_per_10k_ops").value(s.sdc_per_10k_ops);
+  json.key("masked_faults").value(s.masked_faults);
+  json.key("trials_with_sdc").value(s.trials_with_sdc);
+  json.key("storm_engagements").value(s.storm_engagements);
+  json.key("storm_recoveries").value(s.storm_recoveries);
+  json.key("avg_cycles_baseline").value(s.avg_cycles_baseline);
+  json.key("avg_cycles_faulty").value(s.avg_cycles_faulty);
+  json.key("throughput_degradation").value(s.throughput_degradation);
+  json.key("baseline_errors_per_10k_ops")
+      .value(s.baseline_errors_per_10k_ops);
+}
+
+void emit_run_stats(JsonWriter& json, const RunStats& s) {
+  json.key("period_ps").value(s.period_ps);
+  json.key("ops").value(s.ops);
+  json.key("one_cycle_ratio").value(s.one_cycle_ratio);
+  json.key("errors").value(s.errors);
+  json.key("errors_per_10k_ops").value(s.errors_per_10k_ops);
+  json.key("avg_cycles").value(s.avg_cycles);
+  json.key("avg_latency_ps").value(s.avg_latency_ps);
+  json.key("avg_power_mw").value(s.avg_power_mw);
+  json.key("edp_mw_ns2").value(s.edp_mw_ns2);
+}
+
+int write_json(const Options& opt, const std::string& json) {
+  if (opt.json_path == "-") {
+    std::cout << json << "\n";
+    return 0;
+  }
+  // Same atomicity discipline as the checkpoint store: a run killed while
+  // writing its report must not leave a torn JSON behind for cmp(1).
+  const std::string tmp = opt.json_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::cerr << "agingrun: cannot write " << tmp << "\n";
+      return 2;
+    }
+    out << json << "\n";
+  }
+  if (std::rename(tmp.c_str(), opt.json_path.c_str()) != 0) {
+    std::cerr << "agingrun: cannot rename " << tmp << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_tool(const Options& opt) {
+  runtime::RunnerConfig runner_config = runtime::RunnerConfig::from_env();
+  runner_config.max_retries = opt.max_retries;
+  runner_config.deadline = std::chrono::milliseconds(opt.deadline_ms);
+  runner_config.backoff_base = std::chrono::milliseconds(opt.backoff_ms);
+  if (!opt.chaos_spec.empty()) {
+    std::string error;
+    const auto chaos = runtime::ChaosPolicy::parse(opt.chaos_spec, &error);
+    if (!chaos) {
+      std::cerr << "agingrun: " << error << "\n";
+      return 2;
+    }
+    runner_config.chaos = *chaos;
+  }
+
+  const TechLibrary& lib = bench::tech();
+  const MultiplierNetlist mult = build_column_bypass_multiplier(opt.width);
+  const double crit = critical_path_ps(mult, lib);
+  const auto pats = bench::workload(opt.width, opt.ops);
+
+  VlSystemConfig cfg;
+  cfg.period_ps = opt.period_frac * crit;
+  cfg.ahl.width = opt.width;
+  cfg.ahl.skip = 7;
+  cfg.razor.metastability_window_ps = 5.0;
+  cfg.razor.edge_escape_prob = 0.5;
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("tool").value("agingrun");
+  json.key("schema_version").value(std::int64_t{1});
+  json.key("campaign").value(opt.campaign);
+  json.key("width").value(opt.width);
+  json.key("critical_path_ps").value(crit);
+  json.key("period_ps").value(cfg.period_ps);
+  json.key("ops").value(static_cast<std::uint64_t>(opt.ops));
+
+  int exit_code = 0;
+  runtime::RunReport report;
+  std::optional<runtime::CheckpointStore> store;
+  const auto attach_store = [&](std::uint64_t digest) -> bool {
+    if (opt.checkpoint_dir.empty()) return true;
+    try {
+      store.emplace(opt.checkpoint_dir, digest);
+      if (opt.resume) {
+        const runtime::CheckpointScan scan = store->load();
+        if (!opt.quiet) {
+          std::fprintf(stderr,
+                       "agingrun: resume: %zu units restored, %zu stale "
+                       "files discarded\n",
+                       scan.loaded, scan.discarded);
+        }
+      } else {
+        store->clear();
+      }
+    } catch (const runtime::RunError& e) {
+      std::cerr << "agingrun: " << e.what() << "\n";
+      return false;
+    }
+    runner_config.checkpoints = &*store;
+    return true;
+  };
+
+  if (opt.campaign == "fault") {
+    FaultCampaignConfig cc;
+    cc.kind = opt.kind;
+    cc.trials = opt.trials;
+    cc.sites_per_trial = opt.sites_per_trial;
+    cc.delay_factor = opt.delay_factor;
+    cc.seed = opt.seed;
+    const FaultCampaign campaign(mult, lib, cfg, cc);
+    if (!attach_store(campaign.config_digest(pats))) return 3;
+    runtime::RobustRunner runner(runner_config);
+    const FaultCampaignStats stats = campaign.run(
+        pats, CampaignRunOptions{.runner = &runner, .report = &report});
+
+    json.key("kind").value(fault_kind_name(cc.kind));
+    json.key("configured_trials").value(cc.trials);
+    json.key("sites_per_trial").value(cc.sites_per_trial);
+    if (cc.kind == FaultKind::kDelayOutlier) {
+      json.key("delay_factor").value(cc.delay_factor);
+    }
+    json.key("seed").value(cc.seed);
+    json.key("stats").begin_object();
+    emit_stats(json, stats);
+    json.end_object();
+  } else {
+    // Period sweep: demonstrate the sweep_periods wiring under the same
+    // runtime (unit = one sweep point).
+    const auto trace = compute_op_trace(mult, lib, pats);
+    const std::vector<double> periods =
+        bench::linspace(0.45 * crit, 1.05 * crit, opt.sweep_points);
+    runtime::Digest digest;
+    digest.mix(std::string_view("agingrun-sweep/v1"))
+        .mix(opt.width)
+        .mix(static_cast<std::uint64_t>(opt.ops))
+        .mix(opt.period_frac)
+        .mix(opt.sweep_points);
+    if (!attach_store(digest.value())) return 3;
+    runtime::RobustRunner runner(runner_config);
+    const std::vector<RunStats> points =
+        bench::sweep_periods(mult, trace, periods, 7, true, 0.0, nullptr,
+                             &runner, &report);
+
+    json.key("points").begin_array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      json.begin_object();
+      if (report.units[i].state == runtime::UnitState::kQuarantined) {
+        json.key("quarantined").value(true);
+        json.key("period_ps").value(periods[i]);
+      } else {
+        emit_run_stats(json, points[i]);
+      }
+      json.end_object();
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  if (!report.all_ok()) exit_code = 1;
+  if (!opt.quiet) {
+    std::fprintf(stderr, "agingrun: %s\n", report.summary().c_str());
+    for (std::size_t u = 0; u < report.units.size(); ++u) {
+      if (report.units[u].state == runtime::UnitState::kQuarantined) {
+        std::fprintf(stderr, "agingrun: unit %zu quarantined [%s]: %s\n", u,
+                     std::string(runtime::error_category_name(
+                                     report.units[u].category))
+                         .c_str(),
+                     report.units[u].error.c_str());
+      }
+    }
+  }
+  const int write_code = write_json(opt, json.str());
+  return write_code != 0 ? write_code : exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int exit_code = 0;
+  const auto opt = parse_args(argc, argv, exit_code);
+  if (!opt) return exit_code;
+  try {
+    return run_tool(*opt);
+  } catch (const std::exception& e) {
+    std::cerr << "agingrun: fatal: " << e.what() << "\n";
+    return 70;
+  }
+}
