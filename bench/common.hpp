@@ -14,8 +14,11 @@
 
 #include "src/aging/scenario.hpp"
 #include "src/core/calibration.hpp"
+#include "src/core/env.hpp"
 #include "src/core/vl_multiplier.hpp"
 #include "src/exec/thread_pool.hpp"
+#include "src/obs/artifacts.hpp"
+#include "src/obs/trace.hpp"
 #include "src/report/table.hpp"
 #include "src/runtime/robust_runner.hpp"
 #include "src/runtime/stats_codec.hpp"
@@ -38,13 +41,11 @@ inline std::vector<OperandPattern> workload(int width, std::size_t count,
 }
 
 /// Number of simulated operations per sweep point, overridable for quick
-/// runs via AGINGSIM_BENCH_OPS.
+/// runs via AGINGSIM_BENCH_OPS. Strict parse (src/core/env.hpp): the old
+/// std::atol accepted "12abc" as 12 silently; now a malformed value warns
+/// once and the default stands.
 inline std::size_t default_ops() {
-  if (const char* env = std::getenv("AGINGSIM_BENCH_OPS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return 10000;
+  return static_cast<std::size_t>(env::long_or("AGINGSIM_BENCH_OPS", 10000, 1));
 }
 
 inline double ns(double ps) { return ps * 1e-3; }
@@ -155,14 +156,20 @@ inline void preamble(const char* id, const char* what) {
 /// through here prints the what() to stderr and exits 70 (EX_SOFTWARE)
 /// so CI and scripts see a classified failure. Use via AGINGSIM_BENCH_MAIN.
 inline int guarded_main(const char* id, int (*bench_body)()) noexcept {
+  int rc = 70;
   try {
-    return bench_body();
+    obs::TraceSpan span(id);  // bench ids are string literals
+    rc = bench_body();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: fatal: %s\n", id, e.what());
   } catch (...) {
     std::fprintf(stderr, "%s: fatal: unknown exception\n", id);
   }
-  return 70;
+  // Flush AGINGSIM_TRACE / AGINGSIM_METRICS now rather than relying only on
+  // the atexit hook — artifacts survive even an abrupt exit path after this
+  // point, and appear as soon as the bench body is done.
+  obs::flush_env_artifacts();
+  return rc;
 }
 
 // NOLINTNEXTLINE(cppcoreguidelines-macro-usage)

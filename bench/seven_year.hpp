@@ -72,7 +72,9 @@ inline void run_seven_year_figure(const char* fig, int width,
 
   runtime::RunnerConfig runner_config = runtime::RunnerConfig::from_env();
   std::optional<runtime::CheckpointStore> store;
-  if (const char* dir = std::getenv("AGINGSIM_CHECKPOINT_DIR")) {
+  // str_var treats an empty value as unset, so AGINGSIM_CHECKPOINT_DIR=""
+  // means "no checkpoints" instead of "checkpoint into the current dir".
+  if (const auto dir = env::str_var("AGINGSIM_CHECKPOINT_DIR")) {
     runtime::Digest digest;
     digest.mix(std::string_view("seven_year/v1"))
         .mix(std::string_view(fig))
@@ -80,7 +82,7 @@ inline void run_seven_year_figure(const char* fig, int width,
         .mix(vl_period_ps)
         .mix(skip)
         .mix(static_cast<std::uint64_t>(pats.size()));
-    store.emplace(std::filesystem::path(dir) / fig, digest.value());
+    store.emplace(std::filesystem::path(*dir) / fig, digest.value());
     const runtime::CheckpointScan scan = store->load();
     std::fprintf(stderr, "%s: checkpoints: %zu year rows restored, %zu "
                  "stale files discarded\n", fig, scan.loaded, scan.discarded);

@@ -1,9 +1,11 @@
 #include "src/exec/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
-#include <string>
+#include <chrono>
+
+#include "src/core/env.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace agingsim::exec {
 namespace {
@@ -12,16 +14,28 @@ namespace {
 // from such a thread run inline instead of deadlocking on their own pool.
 thread_local bool tls_in_pool_worker = false;
 
-// One warning per distinct bad AGINGSIM_THREADS value — the variable is
-// re-read at every parallel region, so warning unconditionally would spam
-// a sweep with hundreds of identical lines.
-void warn_threads_env_once(const char* env, const char* what) {
-  static std::mutex mutex;
-  static std::string last_warned;
-  std::lock_guard lk(mutex);
-  if (last_warned == env) return;
-  last_warned = env;
-  std::fprintf(stderr, "AGINGSIM_THREADS='%s' %s\n", env, what);
+// Jobs submitted by external callers currently waiting for or holding the
+// pool — the "queue depth" a profiler wants. Process-wide on purpose: a
+// sweep may drive several pools and the interesting number is total
+// pressure, not per-instance.
+std::atomic<std::int64_t> g_pending_jobs{0};
+
+struct PoolMetrics {
+  // pool.jobs / pool.indices count identically on the inline and parallel
+  // paths, so their totals depend only on the submitted work — that is
+  // what keeps 1-thread and 8-thread metric snapshots byte-identical.
+  const obs::Counter& jobs = obs::counter("pool.jobs");
+  const obs::Counter& indices = obs::counter("pool.indices");
+  // Wall-time / occupancy metrics are scheduling-dependent by nature.
+  const obs::Gauge& queue_depth =
+      obs::gauge("pool.queue_depth", /*deterministic=*/false);
+  const obs::Counter& busy_us =
+      obs::counter("pool.worker_busy_us", /*deterministic=*/false);
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics m;
+  return m;
 }
 
 }  // namespace
@@ -31,19 +45,10 @@ int default_thread_count() {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
   };
-  if (const char* env = std::getenv("AGINGSIM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0' || v < 1) {
-      warn_threads_env_once(
-          env, "is not a thread count >= 1; using hardware concurrency");
-      return hardware();
-    }
-    if (v > 256) {
-      warn_threads_env_once(env, "clamped to the 256-lane maximum");
-      return 256;
-    }
-    return static_cast<int>(v);
+  // Strict parse with a once-per-value warning; values above the 256-lane
+  // maximum come back clamped (src/core/env.hpp).
+  if (const auto v = env::long_var("AGINGSIM_THREADS", 1, 256)) {
+    return static_cast<int>(*v);
   }
   return hardware();
 }
@@ -63,9 +68,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_indices(Job& job) {
+  const bool timed = obs::metrics_enabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   for (;;) {
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.n) return;
+    if (i >= job.n) break;
     std::exception_ptr err;
     try {
       (*job.fn)(i);
@@ -79,6 +87,11 @@ void ThreadPool::run_indices(Job& job) {
       all_done = (++job.completed == job.n);
     }
     if (all_done) done_cv_.notify_all();
+  }
+  if (timed) {
+    const auto busy = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    pool_metrics().busy_us.add(static_cast<std::uint64_t>(busy.count()));
   }
 }
 
@@ -97,7 +110,10 @@ void ThreadPool::worker_loop(std::stop_token stop) {
       seen_seq = job_seq_;
       ++job->entered;
     }
-    run_indices(*job);
+    {
+      obs::TraceSpan span("pool.batch", job->n);
+      run_indices(*job);
+    }
     bool quiescent;
     {
       std::lock_guard lk(mutex_);
@@ -111,6 +127,11 @@ void ThreadPool::worker_loop(std::stop_token stop) {
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Counted before the inline/parallel split so totals are identical for
+  // every thread count.
+  pool_metrics().jobs.add();
+  pool_metrics().indices.add(n);
+  obs::TraceSpan span("pool.job", n);
   if (workers_.empty() || n == 1 || tls_in_pool_worker) {
     // Inline execution, same contract as the parallel path: every index is
     // attempted, the first exception is rethrown at the end.
@@ -125,6 +146,11 @@ void ThreadPool::for_each_index(std::size_t n,
     if (first) std::rethrow_exception(first);
     return;
   }
+
+  // Maintained unconditionally (one relaxed RMW per parallel region) so a
+  // mid-run enable never sees a skewed depth.
+  pool_metrics().queue_depth.record(
+      g_pending_jobs.fetch_add(1, std::memory_order_relaxed) + 1);
 
   Job job;
   job.fn = &fn;
@@ -155,6 +181,7 @@ void ThreadPool::for_each_index(std::size_t n,
     job_ = nullptr;
   }
   done_cv_.notify_all();
+  g_pending_jobs.fetch_sub(1, std::memory_order_relaxed);
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -5,10 +5,27 @@
 #include <vector>
 
 #include "src/exec/thread_pool.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/serial.hpp"
 #include "src/runtime/stats_codec.hpp"
 
 namespace agingsim {
+namespace {
+
+struct CampaignMetrics {
+  const obs::Counter& runs = obs::counter("campaign.runs");
+  const obs::Counter& overlays = obs::counter("campaign.overlays_sampled");
+  const obs::Counter& baselines = obs::counter("campaign.baseline_runs");
+  const obs::Counter& trials = obs::counter("campaign.trials_completed");
+};
+
+const CampaignMetrics& campaign_metrics() {
+  static const CampaignMetrics m;
+  return m;
+}
+
+}  // namespace
 
 FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
                                        int stride) {
@@ -138,6 +155,9 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
                                       const CampaignRunOptions& options) const {
   const std::span<const double> gate_delay_scale = options.gate_delay_scale;
   const double mean_dvth_v = options.mean_dvth_v;
+  obs::TraceSpan run_span("campaign.run",
+                          static_cast<std::uint64_t>(config_.trials));
+  campaign_metrics().runs.add();
   FaultCampaignStats agg;
   agg.kind = config_.kind;
 
@@ -151,22 +171,29 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
   for (int trial = 0; trial < config_.trials; ++trial) {
     overlays.push_back(sample_overlay(rng, patterns.size()));
   }
+  campaign_metrics().overlays.add(overlays.size());
 
   // Fault-free reference run: the throughput and error-rate baseline the
   // faulty runs are measured against.
   const auto run_baseline = [&] {
+    obs::TraceSpan span("campaign.baseline");
     const auto baseline_trace =
         compute_op_trace(*mult_, *tech_, patterns, gate_delay_scale);
     VariableLatencySystem system(*mult_, *tech_, system_);
-    return system.run(baseline_trace, mean_dvth_v);
+    auto stats = system.run(baseline_trace, mean_dvth_v);
+    campaign_metrics().baselines.add();
+    return stats;
   };
   const auto run_trial = [&](std::size_t t) {
+    obs::TraceSpan span("campaign.trial", t);
     const auto faulty_trace = compute_op_trace(
         *mult_, *tech_, patterns,
         TraceOptions{.gate_delay_scale = gate_delay_scale,
                      .faults = &overlays[t]});
     VariableLatencySystem trial_system(*mult_, *tech_, system_);
-    return trial_system.run(faulty_trace, mean_dvth_v);
+    auto stats = trial_system.run(faulty_trace, mean_dvth_v);
+    campaign_metrics().trials.add();
+    return stats;
   };
 
   RunStats baseline;

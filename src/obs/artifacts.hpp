@@ -1,0 +1,23 @@
+#pragma once
+
+// Environment-driven observability artifacts (docs/OBSERVABILITY.md):
+//
+//   AGINGSIM_TRACE=out.json    enable span recording, write a Chrome
+//                              trace-event file at process exit
+//   AGINGSIM_METRICS=out.json  enable metrics, write a snapshot at exit
+//
+// A static initializer in artifacts.cpp reads both variables before
+// main(), flips the corresponding recorder on, and registers an atexit
+// flush — so every binary linking agingsim (benches, tools, examples)
+// emits artifacts with zero per-binary wiring. With neither variable set,
+// nothing is enabled and no file is ever created.
+
+namespace agingsim::obs {
+
+/// Writes the env-configured artifacts now (no-op when the variables are
+/// unset). Also runs from atexit; calling it earlier — e.g. right after a
+/// bench body, see AGINGSIM_BENCH_MAIN — just makes the files appear
+/// sooner, the atexit rewrite supersedes them with the final state.
+void flush_env_artifacts() noexcept;
+
+}  // namespace agingsim::obs

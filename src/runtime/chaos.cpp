@@ -6,6 +6,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/core/env.hpp"
+
 namespace agingsim::runtime {
 namespace {
 
@@ -57,14 +59,16 @@ std::optional<ChaosPolicy> ChaosPolicy::parse(std::string_view spec,
   }
 
   ChaosPolicy policy;
-  char* end = nullptr;
-  policy.seed = std::strtoull(fields[0].c_str(), &end, 0);
-  if (fields[0].empty() || *end != '\0') return fail("bad seed");
-  policy.rate = std::strtod(fields[1].c_str(), &end);
-  if (fields[1].empty() || *end != '\0' || policy.rate < 0.0 ||
-      policy.rate > 1.0) {
+  // Strict whole-field parses (src/core/env.hpp): trailing garbage in any
+  // field rejects the spec instead of silently truncating it.
+  const auto seed = env::parse_u64(fields[0], 0);  // base 0: 0x ok
+  if (!seed.has_value()) return fail("bad seed");
+  policy.seed = *seed;
+  const auto rate = env::parse_double(fields[1]);
+  if (!rate.has_value() || *rate < 0.0 || *rate > 1.0) {
     return fail("rate must be a number in [0, 1]");
   }
+  policy.rate = *rate;
 
   if (fields.size() == 3) {
     policy.throw_transient = false;

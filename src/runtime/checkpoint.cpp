@@ -11,10 +11,51 @@
 #include <system_error>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/runtime/serial.hpp"
 
 namespace agingsim::runtime {
 namespace {
+
+struct CheckpointMetrics {
+  const obs::Counter& persisted = obs::counter("checkpoint.persisted");
+  const obs::Counter& loaded = obs::counter("checkpoint.loaded");
+  const obs::Counter& discarded = obs::counter("checkpoint.discarded");
+};
+
+const CheckpointMetrics& checkpoint_metrics() {
+  static const CheckpointMetrics m;
+  return m;
+}
+
+/// One counter per discard reason, so a resume that silently re-runs work
+/// still says *why* in the metrics snapshot. Reasons map to the strings
+/// read_unit_file returns (plus "tmp file" for interrupted writes).
+void count_discard(const char* why) {
+  if (!obs::metrics_enabled()) return;
+  static const struct {
+    const char* why;
+    const obs::Counter& counter;
+  } kReasons[] = {
+      {"tmp file", obs::counter("checkpoint.discarded_tmp")},
+      {"unreadable", obs::counter("checkpoint.discarded_unreadable")},
+      {"truncated header", obs::counter("checkpoint.discarded_truncated")},
+      {"bad magic", obs::counter("checkpoint.discarded_magic")},
+      {"format version skew", obs::counter("checkpoint.discarded_version")},
+      {"config digest mismatch",
+       obs::counter("checkpoint.discarded_digest")},
+      {"truncated payload", obs::counter("checkpoint.discarded_truncated")},
+      {"payload CRC mismatch", obs::counter("checkpoint.discarded_crc")},
+  };
+  checkpoint_metrics().discarded.add();
+  for (const auto& reason : kReasons) {
+    if (std::strcmp(reason.why, why) == 0) {
+      reason.counter.add();
+      return;
+    }
+  }
+}
 
 constexpr std::uint32_t kMagic = 0x4B434741u;  // "AGCK" little-endian
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 4;
@@ -124,6 +165,7 @@ std::filesystem::path CheckpointStore::unit_path(std::uint64_t unit) const {
 }
 
 CheckpointScan CheckpointStore::load() {
+  obs::TraceSpan span("checkpoint.load");
   std::lock_guard lk(mutex_);
   CheckpointScan scan;
   std::error_code ec;
@@ -133,6 +175,7 @@ CheckpointScan CheckpointStore::load() {
       // A write the crash interrupted before the rename; never valid.
       std::filesystem::remove(file, ec);
       ++scan.discarded;
+      count_discard("tmp file");
       continue;
     }
     if (file.extension() != ".ckpt") continue;  // foreign file: leave alone
@@ -142,11 +185,13 @@ CheckpointScan CheckpointStore::load() {
       diagnose(file, why);
       std::filesystem::remove(file, ec);
       ++scan.discarded;
+      count_discard(why);
       continue;
     }
     units_[unit] = std::move(payload);
     ++scan.loaded;
   }
+  checkpoint_metrics().loaded.add(scan.loaded);
   return scan;
 }
 
@@ -163,6 +208,7 @@ void CheckpointStore::clear() {
 }
 
 void CheckpointStore::persist(std::uint64_t unit, std::string_view payload) {
+  obs::TraceSpan span("checkpoint.persist", unit);
   const std::filesystem::path final_path = unit_path(unit);
   std::filesystem::path tmp_path = final_path;
   tmp_path += ".tmp";
@@ -183,6 +229,7 @@ void CheckpointStore::persist(std::uint64_t unit, std::string_view payload) {
                        final_path.string());
   }
   sync_dir(dir_);
+  checkpoint_metrics().persisted.add();
 
   std::lock_guard lk(mutex_);
   units_[unit] = std::string(payload);

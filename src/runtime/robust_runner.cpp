@@ -9,10 +9,38 @@
 #include <mutex>
 #include <thread>
 
+#include "src/core/env.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+
 namespace agingsim::runtime {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr double kPersistBoundsUs[] = {100.0, 1000.0, 10000.0, 100000.0,
+                                       1000000.0};
+
+struct RunnerMetrics {
+  const obs::Counter& units_computed = obs::counter("runner.units_computed");
+  const obs::Counter& units_restored = obs::counter("runner.units_restored");
+  const obs::Counter& units_quarantined =
+      obs::counter("runner.units_quarantined");
+  const obs::Counter& retries = obs::counter("runner.retries");
+  const obs::Counter& backoff_waits = obs::counter("runner.backoff_waits");
+  const obs::Counter& backoff_wait_ms =
+      obs::counter("runner.backoff_wait_ms");
+  // Wall-time driven: whether a deadline fires depends on scheduling.
+  const obs::Counter& watchdog_fires =
+      obs::counter("runner.watchdog_fires", /*deterministic=*/false);
+  const obs::Histogram& persist_us = obs::histogram(
+      "runner.persist_us", kPersistBoundsUs, /*deterministic=*/false);
+};
+
+const RunnerMetrics& runner_metrics() {
+  static const RunnerMetrics m;
+  return m;
+}
 
 /// Deadline enforcement thread. Attempts are armed with their CancelToken;
 /// the thread sleeps until the oldest armed deadline (all attempts share
@@ -59,6 +87,7 @@ class Watchdog {
       for (auto it = armed_.begin(); it != armed_.end();) {
         if (it->second.deadline <= now) {
           it->second.token->cancel();
+          runner_metrics().watchdog_fires.add();
           it = armed_.erase(it);
         } else {
           earliest = std::min(earliest, it->second.deadline);
@@ -96,30 +125,27 @@ void apply_chaos(const ChaosPolicy& chaos, std::uint64_t unit, int attempt,
                      "chaos: injected permanent fault (unit " +
                          std::to_string(unit) + ")");
     case ChaosAction::kStall: {
-      const Clock::time_point until = Clock::now() + chaos.stall_duration;
-      while (Clock::now() < until) {
-        cancel.poll();  // a watchdog cancellation ends the stall
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      }
+      // Deadline-aware: one blocking wait that a watchdog cancel() ends
+      // immediately. The old fixed-tick poll loop kept a cancelled task
+      // stalling for up to a full tick past its deadline — and, worse,
+      // burned a wakeup per millisecond for the whole stall.
+      cancel.wait_until(Clock::now() + chaos.stall_duration);
+      cancel.poll();  // a watchdog cancellation ends the stall
       return;
     }
   }
 }
 
-long env_long(const char* name, long fallback, long min_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || v < min_value) {
-    std::fprintf(stderr, "%s='%s' ignored (want integer >= %ld)\n", name,
-                 env, min_value);
-    return fallback;
-  }
-  return v;
-}
-
 }  // namespace
+
+void CancelToken::cancel() noexcept {
+  flag_.store(true, std::memory_order_release);
+  // Taking the lock before notifying orders the store against a sleeper's
+  // predicate re-check: a wait_until that just saw the flag clear is
+  // guaranteed to observe the notification.
+  std::lock_guard lk(mutex_);
+  cv_.notify_all();
+}
 
 void CancelToken::poll() const {
   if (cancelled()) {
@@ -128,13 +154,19 @@ void CancelToken::poll() const {
   }
 }
 
+void CancelToken::wait_until(
+    std::chrono::steady_clock::time_point deadline) const {
+  std::unique_lock lk(mutex_);
+  cv_.wait_until(lk, deadline, [this] { return cancelled(); });
+}
+
 RunnerConfig RunnerConfig::from_env() {
   RunnerConfig config;
   config.chaos = ChaosPolicy::from_env();
-  config.max_retries =
-      static_cast<int>(env_long("AGINGSIM_MAX_RETRIES", config.max_retries, 0));
-  config.deadline = std::chrono::milliseconds(
-      env_long("AGINGSIM_DEADLINE_MS", config.deadline.count(), 0));
+  config.max_retries = static_cast<int>(
+      env::long_or("AGINGSIM_MAX_RETRIES", config.max_retries, 0));
+  config.deadline = std::chrono::milliseconds(env::long_or(
+      "AGINGSIM_DEADLINE_MS", static_cast<long>(config.deadline.count()), 0));
   return config;
 }
 
@@ -171,6 +203,7 @@ std::chrono::milliseconds RobustRunner::backoff_delay(
 
 std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
                                            RunReport* report) {
+  obs::TraceSpan run_span("runner.run", n);
   RunReport local;
   RunReport& rep = report != nullptr ? *report : local;
   rep = RunReport{};
@@ -202,6 +235,7 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
   Watchdog watchdog(config_.deadline);
   const auto run_unit = [&](std::size_t pending_index) {
     const std::uint64_t unit = pending[pending_index];
+    obs::TraceSpan unit_span("runner.unit", unit);
     UnitOutcome& outcome = rep.units[unit];
     for (int attempt = 0;; ++attempt) {
       CancelToken cancel;
@@ -215,7 +249,14 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
         outcome.state = UnitState::kComputed;
         if (store != nullptr) {
           try {
-            store->persist(unit, payloads[unit]);
+            const Clock::time_point t0 = Clock::now();
+            {
+              obs::TraceSpan persist_span("runner.persist", unit);
+              store->persist(unit, payloads[unit]);
+            }
+            runner_metrics().persist_us.observe(
+                std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count());
           } catch (const RunError& e) {
             // A dead disk must not kill a finished computation: the run
             // continues, only resumability of this unit is lost.
@@ -232,7 +273,12 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
       } catch (const RunError& e) {
         watchdog.disarm(armed);
         if (e.retryable() && attempt < config_.max_retries) {
-          std::this_thread::sleep_for(backoff_delay(config_, attempt + 1));
+          const std::chrono::milliseconds delay =
+              backoff_delay(config_, attempt + 1);
+          runner_metrics().backoff_waits.add();
+          runner_metrics().backoff_wait_ms.add(
+              static_cast<std::uint64_t>(delay.count()));
+          std::this_thread::sleep_for(delay);
           continue;
         }
         outcome.state = UnitState::kQuarantined;
@@ -265,6 +311,13 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
     if (outcome.attempts > 1) {
       rep.retries += static_cast<std::uint64_t>(outcome.attempts - 1);
     }
+  }
+  if (obs::metrics_enabled()) {
+    const RunnerMetrics& m = runner_metrics();
+    m.units_computed.add(rep.computed);
+    m.units_restored.add(rep.restored);
+    m.units_quarantined.add(rep.quarantined);
+    m.retries.add(rep.retries);
   }
   return payloads;
 }

@@ -27,8 +27,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,12 +48,20 @@ class CancelToken {
   bool cancelled() const noexcept {
     return flag_.load(std::memory_order_acquire);
   }
-  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  /// Flips the flag and wakes any wait_until() sleeper immediately.
+  void cancel() noexcept;
   /// Throws RunError(kTimeout) once the watchdog has cancelled the attempt.
   void poll() const;
+  /// Blocks until `deadline` or cancellation, whichever comes first — the
+  /// deadline-aware replacement for fixed-tick polling loops (a cancel
+  /// ends the wait immediately instead of after the current tick).
+  /// Returns without throwing either way; pair with poll().
+  void wait_until(std::chrono::steady_clock::time_point deadline) const;
 
  private:
   std::atomic<bool> flag_{false};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
 };
 
 struct RunnerConfig {

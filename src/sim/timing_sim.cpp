@@ -5,6 +5,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+
 namespace agingsim {
 namespace {
 
@@ -19,6 +21,26 @@ constexpr double kInputCapFf = 1.0;  // driver + register output cap per PI
 constexpr float kBlockedPass = 0.2f;
 constexpr float kStableBlock = 0.02f;
 constexpr float kDensityClamp = 32.0f;
+
+// Everything here accumulates per *step*, never per gate — the per-gate
+// loops stay metric-free so an enabled run stays close to a disabled one.
+struct SimMetrics {
+  const obs::Counter& steps_dense = obs::counter("sim.steps_dense");
+  const obs::Counter& steps_sparse = obs::counter("sim.steps_sparse");
+  const obs::Counter& gates_evaluated = obs::counter("sim.gates_evaluated");
+  // Why a sparse-mode sim fell back to a dense sweep this step:
+  const obs::Counter& fallback_swap =
+      obs::counter("sim.dense_fallback_swap");  // set_aging/set_fault_overlay
+  const obs::Counter& fallback_transient =
+      obs::counter("sim.dense_fallback_transient");  // strike or cleanup
+  const obs::Counter& aging_swaps = obs::counter("sim.aging_swaps");
+  const obs::Counter& overlay_swaps = obs::counter("sim.overlay_swaps");
+};
+
+const SimMetrics& sim_metrics() {
+  static const SimMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -48,6 +70,7 @@ void TimingSim::set_aging(std::span<const double> gate_delay_scale) {
   aging_scale_.assign(gate_delay_scale.begin(), gate_delay_scale.end());
   rebuild_delays();
   force_dense_ = true;
+  sim_metrics().aging_swaps.add();
 }
 
 void TimingSim::set_fault_overlay(const FaultOverlay* overlay) {
@@ -61,6 +84,7 @@ void TimingSim::set_fault_overlay(const FaultOverlay* overlay) {
   // Installing or removing stuck-ats changes gate outputs without any fanin
   // edge; only a full sweep re-establishes (or releases) them everywhere.
   force_dense_ = true;
+  sim_metrics().overlay_swaps.add();
 }
 
 void TimingSim::rebuild_delays() {
@@ -314,6 +338,7 @@ StepResult TimingSim::step(std::span<const Logic> input_values) {
   const bool transient_cleanup = overlay_ != nullptr &&
                                  overlay_->has_transients() &&
                                  overlay_->transient_fires_on(step_index_ - 1);
+  const bool forced_swap = force_dense_;  // cleared by the dense sweep below
   const bool dense = mode_ == Mode::kDense || force_dense_ || transient_now ||
                      transient_cleanup;
 
@@ -364,6 +389,16 @@ StepResult TimingSim::step(std::span<const Logic> input_values) {
     }
   }
   ++step_index_;
+  if (obs::metrics_enabled()) {
+    const SimMetrics& m = sim_metrics();
+    (dense ? m.steps_dense : m.steps_sparse).add();
+    m.gates_evaluated.add(result.gates_evaluated);
+    if (mode_ != Mode::kDense && dense) {
+      // Attribute the fallback: a pending delay-table swap wins over a
+      // transient window when both apply this step.
+      (forced_swap ? m.fallback_swap : m.fallback_transient).add();
+    }
+  }
   return result;
 }
 

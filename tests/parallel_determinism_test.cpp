@@ -11,6 +11,7 @@
 
 #include "bench/common.hpp"
 #include "src/fault/campaign.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/report/json.hpp"
 
 namespace agingsim {
@@ -111,6 +112,41 @@ TEST(ParallelDeterminismTest, FaultCampaignIsIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(one == eight);
   EXPECT_EQ(one.trials, 5u);
   EXPECT_EQ(one.ops, 5u * 200u);
+}
+
+TEST(ParallelDeterminismTest, MetricsSnapshotIsIdenticalAcrossThreadCounts) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  VlSystemConfig system;
+  system.period_ps = 900.0;
+  system.ahl.width = 16;
+  system.ahl.skip = 7;
+  FaultCampaignConfig config;
+  config.kind = FaultKind::kStuckAt0;
+  config.trials = 4;
+  config.sites_per_trial = 2;
+  const FaultCampaign campaign(m, tech(), system, config);
+  const auto patterns = workload(16, 150);
+
+  obs::set_metrics_enabled(true);
+  const auto snapshot_with_env = [&](const char* env) {
+    ScopedThreadsEnv scoped(env);
+    obs::reset_metrics();
+    (void)campaign.run(patterns);
+    // Deterministic-only: wall-time metrics (pool.worker_busy_us,
+    // pool.queue_depth, ...) are scheduling-dependent by design and
+    // excluded from the contract.
+    return obs::metrics_json(/*deterministic_only=*/true);
+  };
+  const std::string one = snapshot_with_env("1");
+  const std::string eight = snapshot_with_env("8");
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(one, eight);
+  // The snapshot actually observed the campaign, not an empty registry.
+  EXPECT_NE(one.find("\"sim.steps_dense\""), std::string::npos) << one;
+  EXPECT_NE(one.find("\"campaign.trials_completed\""), std::string::npos);
+  EXPECT_NE(one.find("\"pool.jobs\""), std::string::npos);
+  EXPECT_EQ(one.find("\"pool.worker_busy_us\""), std::string::npos) << one;
 }
 
 }  // namespace

@@ -463,5 +463,66 @@ TEST_F(RuntimeIntegrationTest, CodecRejectsFieldCountSkewAsCorrupt) {
   }
 }
 
+// Regression (deadline latency): a task blocked in CancelToken::wait_until
+// must unwind within one watchdog tick of the deadline, not after its full
+// nominal sleep. Bounds are generous for loaded single-core CI machines —
+// the point is "seconds, not the 20 s sleep".
+TEST(RobustRunnerTest, WaitUntilUnblocksAtTheDeadlineNotTheSleepEnd) {
+  RunnerConfig config = fast_config();
+  config.deadline = milliseconds(100);
+  config.max_retries = 0;  // quarantine on the first timeout
+  RobustRunner runner(config);
+  RunReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.run(
+      1,
+      [](std::uint64_t, const CancelToken& cancel) -> std::string {
+        cancel.wait_until(std::chrono::steady_clock::now() +
+                          std::chrono::seconds(20));
+        cancel.poll();
+        return "never";
+      },
+      &report);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(report.units[0].state, UnitState::kQuarantined);
+  EXPECT_EQ(report.units[0].category, ErrorCategory::kTimeout);
+  EXPECT_LT(elapsed, std::chrono::seconds(10)) << "cancel did not wake the "
+                                                  "blocking wait";
+}
+
+// Regression (deadline latency): the chaos stall used to poll on a fixed
+// 1 ms tick; now it is a single cancellable wait, so the watchdog ends an
+// 8 s stall within moments of the 150 ms deadline.
+TEST(RobustRunnerTest, ChaosStallEndsAtTheDeadlineNotTheStallEnd) {
+  RunnerConfig config = fast_config();
+  config.deadline = milliseconds(150);
+  config.max_retries = 0;
+  config.chaos.seed = 7;
+  config.chaos.rate = 1.0;  // every (unit, attempt) draws an action
+  config.chaos.throw_transient = false;
+  config.chaos.stall = true;
+  config.chaos.stall_duration = std::chrono::seconds(8);
+  RobustRunner runner(config);
+  RunReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.run(
+      1, [](std::uint64_t, const CancelToken&) { return std::string("x"); },
+      &report);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(report.units[0].state, UnitState::kQuarantined);
+  EXPECT_EQ(report.units[0].category, ErrorCategory::kTimeout);
+  EXPECT_LT(elapsed, std::chrono::seconds(6))
+      << "stall outlived its watchdog deadline";
+}
+
+TEST(RobustRunnerTest, WaitUntilReturnsAtDeadlineWithoutCancel) {
+  CancelToken token;
+  const auto t0 = std::chrono::steady_clock::now();
+  token.wait_until(t0 + milliseconds(20));
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, milliseconds(20));
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.poll());
+}
+
 }  // namespace
 }  // namespace agingsim::runtime

@@ -158,7 +158,7 @@ TEST(ThreadPoolTest, RejectedThreadsEnvWarnsOnceOnStderr) {
   EXPECT_NE(err.find("AGINGSIM_THREADS='bogus-thread-count'"),
             std::string::npos)
       << err;
-  EXPECT_NE(err.find("using hardware concurrency"), std::string::npos) << err;
+  EXPECT_NE(err.find("ignored"), std::string::npos) << err;
   EXPECT_EQ(err.find("AGINGSIM_THREADS",
                      err.find("AGINGSIM_THREADS") + 1),
             std::string::npos)

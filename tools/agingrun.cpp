@@ -25,6 +25,8 @@
 
 #include "bench/common.hpp"
 #include "src/fault/campaign.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/report/json.hpp"
 #include "src/runtime/chaos.hpp"
 #include "src/runtime/checkpoint.hpp"
@@ -53,6 +55,8 @@ struct Options {
   long backoff_ms = 25;
   std::string chaos_spec;  // empty = AGINGSIM_CHAOS / none
   std::string json_path = "-";
+  std::string trace_path;    // empty = AGINGSIM_TRACE / off
+  std::string metrics_path;  // empty = AGINGSIM_METRICS / off
   bool quiet = false;
 };
 
@@ -80,6 +84,10 @@ void print_usage(std::ostream& os) {
         "  --chaos SPEC       seed:rate[:actions], actions in [tpsc]\n"
         "                     (overrides AGINGSIM_CHAOS)\n"
         "  --json PATH        write campaign JSON to PATH ('-' = stdout)\n"
+        "  --trace PATH       record spans, write a Chrome trace-event\n"
+        "                     file to PATH (chrome://tracing, Perfetto)\n"
+        "  --metrics PATH     record metrics, write a JSON snapshot to\n"
+        "                     PATH (see docs/OBSERVABILITY.md)\n"
         "  --quiet            suppress the runtime summary on stderr\n"
         "  --help             this text\n";
 }
@@ -205,6 +213,14 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       const auto v = need_value("--json");
       if (!v) { exit_code = 2; return std::nullopt; }
       opt.json_path = *v;
+    } else if (arg == "--trace") {
+      const auto v = need_value("--trace");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.trace_path = *v;
+    } else if (arg == "--metrics") {
+      const auto v = need_value("--metrics");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.metrics_path = *v;
     } else {
       std::cerr << "agingrun: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -273,6 +289,11 @@ int write_json(const Options& opt, const std::string& json) {
 }
 
 int run_tool(const Options& opt) {
+  // Flip the recorders before any instrumented code runs; the files are
+  // written after the campaign JSON below. AGINGSIM_TRACE/AGINGSIM_METRICS
+  // (handled in src/obs/artifacts.cpp) remain usable alongside the flags.
+  if (!opt.trace_path.empty()) obs::set_trace_enabled(true);
+  if (!opt.metrics_path.empty()) obs::set_metrics_enabled(true);
   runtime::RunnerConfig runner_config = runtime::RunnerConfig::from_env();
   runner_config.max_retries = opt.max_retries;
   runner_config.deadline = std::chrono::milliseconds(opt.deadline_ms);
@@ -405,6 +426,12 @@ int run_tool(const Options& opt) {
     }
   }
   const int write_code = write_json(opt, json.str());
+  // Best-effort: a failed observability write diagnoses on stderr but never
+  // changes the campaign's exit code.
+  if (!opt.trace_path.empty()) (void)obs::write_trace_json(opt.trace_path);
+  if (!opt.metrics_path.empty()) {
+    (void)obs::write_metrics_json(opt.metrics_path);
+  }
   return write_code != 0 ? write_code : exit_code;
 }
 
