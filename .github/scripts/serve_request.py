@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""One-shot agingd client for CI: send one framed JSON request, print the
+raw response payload bytes to stdout (docs/SERVING.md wire protocol).
+
+usage: serve_request.py SOCKET_PATH REQUEST_JSON [TIMEOUT_S]
+exit:  0 response received · 1 transport failure / timeout
+"""
+import socket
+import struct
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1]
+    request = sys.argv[2].encode()
+    timeout = float(sys.argv[3]) if len(sys.argv) > 3 else 600.0
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(path)
+        sock.sendall(struct.pack("<I", len(request)) + request)
+        header = b""
+        while len(header) < 4:
+            chunk = sock.recv(4 - len(header))
+            if not chunk:
+                return 1
+            header += chunk
+        (length,) = struct.unpack("<I", header)
+        payload = b""
+        while len(payload) < length:
+            chunk = sock.recv(length - len(payload))
+            if not chunk:
+                return 1
+            payload += chunk
+        sys.stdout.buffer.write(payload)
+        return 0
+    except OSError as err:
+        print(f"serve_request: {err}", file=sys.stderr)
+        return 1
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,7 +100,8 @@ inline std::vector<RunStats> sweep_periods(
         &rep);
     std::vector<RunStats> out(periods_ps.size());
     for (std::size_t i = 0; i < out.size(); ++i) {
-      if (rep.units[i].state != runtime::UnitState::kQuarantined) {
+      if (rep.units[i].state == runtime::UnitState::kComputed ||
+          rep.units[i].state == runtime::UnitState::kRestored) {
         out[i] = runtime::decode_run_stats(payloads[i]);
       }
     }

@@ -15,6 +15,9 @@
 //  - values above an explicit ceiling are clamped (with the same
 //    once-only warning) rather than rejected, so "AGINGSIM_THREADS=9999"
 //    degrades to the 256-lane maximum instead of to a surprise default.
+//
+// The serving daemon's AGINGSIM_SERVE_* defaults (tools/agingd,
+// docs/SERVING.md) go through these same parsers; flags override env.
 
 #include <limits>
 #include <optional>

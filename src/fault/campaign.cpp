@@ -218,6 +218,15 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
                                                      : run_trial(unit - 1));
         },
         &report);
+    if (report.interrupted()) {
+      // A stop token cut the run short; completed units are checkpointed,
+      // so the right move is resume, not aggregation over holes.
+      throw runtime::RunError(
+          runtime::ErrorCategory::kTransient,
+          "FaultCampaign: interrupted before completion (" +
+              std::to_string(report.skipped) +
+              " units skipped); resume to continue");
+    }
     if (report.units[0].state == runtime::UnitState::kQuarantined) {
       throw runtime::RunError(
           runtime::ErrorCategory::kPermanent,

@@ -72,19 +72,40 @@ std::string header_bytes(std::uint64_t digest, std::uint64_t unit,
   return w.take();
 }
 
+CheckpointWriteHook g_write_hook = nullptr;
+
+/// Which syscall of the durable-write sequence failed, and its errno —
+/// surfaced verbatim in the RunError so "disk full" reads as disk full,
+/// not as a generic cannot-write.
+struct WriteFailure {
+  const char* step = "";
+  int err = 0;
+};
+
 /// POSIX durable write: payload to fd, fsync, close. Returns false on any
-/// failure (the caller treats the file as unwritable).
-bool write_durable(const std::filesystem::path& path,
-                   std::string_view header, std::string_view payload) {
+/// failure (the caller treats the file as unwritable) and fills `failure`.
+/// Short writes are continued (a signal landing mid-write(2) legally
+/// returns a partial count) and EINTR is retried; only a real error — or
+/// an error surfacing at fsync/close, where delayed-allocation filesystems
+/// first report ENOSPC — fails the write.
+bool write_durable(const std::filesystem::path& path, std::string_view header,
+                   std::string_view payload, WriteFailure& failure) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
+  if (fd < 0) {
+    failure = {"open", errno};
+    return false;
+  }
   bool ok = true;
   const auto write_all = [&](std::string_view bytes) {
     std::size_t done = 0;
     while (done < bytes.size()) {
-      const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+      const ssize_t n =
+          g_write_hook != nullptr
+              ? g_write_hook(fd, bytes.data() + done, bytes.size() - done)
+              : ::write(fd, bytes.data() + done, bytes.size() - done);
       if (n < 0) {
         if (errno == EINTR) continue;
+        failure = {"write", errno};
         return false;
       }
       done += static_cast<std::size_t>(n);
@@ -92,8 +113,14 @@ bool write_durable(const std::filesystem::path& path,
     return true;
   };
   ok = write_all(header) && write_all(payload);
-  if (ok && ::fsync(fd) != 0) ok = false;
-  if (::close(fd) != 0) ok = false;
+  if (ok && ::fsync(fd) != 0) {
+    failure = {"fsync", errno};
+    ok = false;
+  }
+  if (::close(fd) != 0 && ok) {
+    failure = {"close", errno};
+    ok = false;
+  }
   return ok;
 }
 
@@ -144,6 +171,10 @@ const char* read_unit_file(const std::filesystem::path& file,
 }
 
 }  // namespace
+
+void set_checkpoint_write_hook_for_testing(CheckpointWriteHook hook) {
+  g_write_hook = hook;
+}
 
 CheckpointStore::CheckpointStore(std::filesystem::path dir,
                                  std::uint64_t config_digest)
@@ -214,11 +245,23 @@ void CheckpointStore::persist(std::uint64_t unit, std::string_view payload) {
   tmp_path += ".tmp";
 
   const std::string header = header_bytes(digest_, unit, payload);
-  if (!write_durable(tmp_path, header, payload)) {
+  WriteFailure failure;
+  if (!write_durable(tmp_path, header, payload, failure)) {
     std::error_code ec;
     std::filesystem::remove(tmp_path, ec);
+    // Permanent on purpose: retrying a full disk burns the retry budget
+    // without helping. The .tmp was removed above, so no torn file is
+    // visible; completed .ckpt units stay valid for --resume.
+    const std::string detail =
+        failure.err == ENOSPC
+            ? std::string("disk full (ENOSPC at ") + failure.step + ")"
+            : std::string(failure.step) + " failed: " +
+                  std::strerror(failure.err);
     throw RunError(ErrorCategory::kPermanent,
-                   "CheckpointStore: cannot write " + tmp_path.string());
+                   "CheckpointStore: cannot write " + tmp_path.string() +
+                       " (" + detail +
+                       "); completed checkpoints remain valid — free space "
+                       "and rerun with --resume");
   }
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);

@@ -22,6 +22,15 @@
 
 namespace agingsim::runtime {
 
+/// Test-only fault injection for the durable write path: when set, persist()
+/// routes every write(2) through this function instead (same contract:
+/// bytes written, or -1 with errno set). Lets tests exercise short writes,
+/// EINTR storms and ENOSPC without an actual full disk. Not thread-safe
+/// against concurrent persist() — install before the run, clear after.
+using CheckpointWriteHook = long (*)(int fd, const void* buf,
+                                     std::size_t count);
+void set_checkpoint_write_hook_for_testing(CheckpointWriteHook hook);
+
 /// What load() found on disk.
 struct CheckpointScan {
   std::size_t loaded = 0;     ///< valid units restored into memory

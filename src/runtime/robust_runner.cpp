@@ -50,19 +50,30 @@ const RunnerMetrics& runner_metrics() {
 /// RunError(kTimeout). A disabled watchdog (deadline 0) spawns no thread.
 class Watchdog {
  public:
-  explicit Watchdog(std::chrono::milliseconds deadline)
-      : deadline_(deadline) {
-    if (deadline_.count() > 0) {
-      thread_ = std::jthread([this](std::stop_token stop) { loop(stop); });
+  /// `stop` (optional, not owned) is the runner's external stop token:
+  /// when it flips, every armed attempt is cancelled immediately, same as
+  /// a deadline expiry. The thread spawns when either trigger can fire.
+  Watchdog(std::chrono::milliseconds deadline, const CancelToken* stop)
+      : deadline_(deadline), stop_(stop) {
+    if (deadline_.count() > 0 || stop_ != nullptr) {
+      thread_ = std::jthread([this](std::stop_token st) { loop(st); });
     }
   }
 
   /// Registers one attempt; returns an id for disarm() (0 when disabled).
   std::uint64_t arm(CancelToken* token) {
-    if (deadline_.count() <= 0) return 0;
+    if (deadline_.count() <= 0 && stop_ == nullptr) return 0;
     std::lock_guard lk(mutex_);
+    if (stopped_) {
+      // The stop token already fired: cancel straight away so the attempt
+      // unwinds at its first poll.
+      token->cancel();
+    }
     const std::uint64_t id = ++next_id_;
-    armed_.emplace(id, Entry{token, Clock::now() + deadline_});
+    const Clock::time_point deadline = deadline_.count() > 0
+                                           ? Clock::now() + deadline_
+                                           : Clock::time_point::max();
+    armed_.emplace(id, Entry{token, deadline});
     cv_.notify_all();
     return id;
   }
@@ -82,6 +93,13 @@ class Watchdog {
   void loop(std::stop_token stop) {
     std::unique_lock lk(mutex_);
     while (!stop.stop_requested()) {
+      if (stop_ != nullptr && !stopped_ && stop_->cancelled()) {
+        // External stop: flush every armed attempt at once. The flag stays
+        // set so late arms are cancelled on entry.
+        stopped_ = true;
+        for (auto& [id, entry] : armed_) entry.token->cancel();
+        armed_.clear();
+      }
       const Clock::time_point now = Clock::now();
       Clock::time_point earliest = Clock::time_point::max();
       for (auto it = armed_.begin(); it != armed_.end();) {
@@ -94,6 +112,11 @@ class Watchdog {
           ++it;
         }
       }
+      // The external stop token has no way to wake this cv, so cap the
+      // sleep at a short poll tick while one is configured.
+      if (stop_ != nullptr) {
+        earliest = std::min(earliest, now + std::chrono::milliseconds(20));
+      }
       if (earliest == Clock::time_point::max()) {
         cv_.wait(lk, stop, [&] { return !armed_.empty(); });
       } else {
@@ -103,6 +126,8 @@ class Watchdog {
   }
 
   std::chrono::milliseconds deadline_;
+  const CancelToken* stop_;
+  bool stopped_ = false;  // guarded by mutex_
   std::mutex mutex_;
   std::condition_variable_any cv_;
   std::map<std::uint64_t, Entry> armed_;
@@ -171,11 +196,11 @@ RunnerConfig RunnerConfig::from_env() {
 }
 
 std::string RunReport::summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof buf,
-                "units: %zu computed, %zu restored, %zu quarantined of %zu; "
-                "retries: %llu",
-                computed, restored, quarantined, units.size(),
+                "units: %zu computed, %zu restored, %zu quarantined, "
+                "%zu skipped of %zu; retries: %llu",
+                computed, restored, quarantined, skipped, units.size(),
                 static_cast<unsigned long long>(retries));
   return buf;
 }
@@ -232,11 +257,18 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
                        : 0;
   std::atomic<std::uint64_t> fresh_done{0};
 
-  Watchdog watchdog(config_.deadline);
+  Watchdog watchdog(config_.deadline, config_.stop);
+  const auto stop_requested = [&] {
+    return config_.stop != nullptr && config_.stop->cancelled();
+  };
   const auto run_unit = [&](std::size_t pending_index) {
     const std::uint64_t unit = pending[pending_index];
     obs::TraceSpan unit_span("runner.unit", unit);
     UnitOutcome& outcome = rep.units[unit];
+    if (stop_requested()) {
+      outcome.state = UnitState::kSkipped;
+      return;
+    }
     for (int attempt = 0;; ++attempt) {
       CancelToken cancel;
       const std::uint64_t armed = watchdog.arm(&cancel);
@@ -272,6 +304,12 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
         return;
       } catch (const RunError& e) {
         watchdog.disarm(armed);
+        if (stop_requested()) {
+          // The cancellation came from the external stop, not a failure of
+          // this unit: record it as skipped so a resume re-runs it.
+          outcome.state = UnitState::kSkipped;
+          return;
+        }
         if (e.retryable() && attempt < config_.max_retries) {
           const std::chrono::milliseconds delay =
               backoff_delay(config_, attempt + 1);
@@ -307,6 +345,7 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
       case UnitState::kComputed: ++rep.computed; break;
       case UnitState::kRestored: ++rep.restored; break;
       case UnitState::kQuarantined: ++rep.quarantined; break;
+      case UnitState::kSkipped: ++rep.skipped; break;
     }
     if (outcome.attempts > 1) {
       rep.retries += static_cast<std::uint64_t>(outcome.attempts - 1);

@@ -79,6 +79,14 @@ struct RunnerConfig {
   /// Optional pool to fan out on (not owned); null = one-shot pool per run
   /// honoring AGINGSIM_THREADS.
   exec::ThreadPool* pool = nullptr;
+  /// Optional external stop signal (not owned): when it flips, units not
+  /// yet started are skipped (UnitState::kSkipped) and in-flight attempts
+  /// are cancelled cooperatively, exactly like a watchdog deadline — each
+  /// completed unit has already been persisted, so a stopped campaign
+  /// resumes from where it left off. This is how SIGTERM/SIGINT handlers
+  /// (tools/agingrun) and the serving daemon's drain/deadline paths
+  /// (docs/SERVING.md) stop a campaign without losing work.
+  const CancelToken* stop = nullptr;
 
   /// Config with chaos from AGINGSIM_CHAOS plus AGINGSIM_MAX_RETRIES and
   /// AGINGSIM_DEADLINE_MS overrides — how the bench binaries opt in
@@ -90,6 +98,7 @@ enum class UnitState {
   kComputed,     ///< executed (possibly after retries) this run
   kRestored,     ///< loaded from the checkpoint store, not executed
   kQuarantined,  ///< failed past the retry budget; payload empty
+  kSkipped,      ///< not started: the external stop token fired first
 };
 
 struct UnitOutcome {
@@ -104,9 +113,13 @@ struct RunReport {
   std::size_t computed = 0;
   std::size_t restored = 0;
   std::size_t quarantined = 0;
+  std::size_t skipped = 0;    ///< not started before the stop token fired
   std::uint64_t retries = 0;  ///< total extra attempts across all units
 
-  bool all_ok() const noexcept { return quarantined == 0; }
+  bool all_ok() const noexcept { return quarantined == 0 && skipped == 0; }
+  /// The run was cut short by the external stop token; completed units are
+  /// persisted, so a resumed run picks up the skipped ones.
+  bool interrupted() const noexcept { return skipped > 0; }
   /// One line for operators: "12 computed, 3 restored, 1 quarantined, ...".
   std::string summary() const;
 };

@@ -1,0 +1,166 @@
+#pragma once
+
+// Admission control and graceful degradation for agingd (docs/SERVING.md).
+//
+// The overload contract: a bounded queue with *explicit rejection* instead
+// of unbounded buffering. Offered load past capacity is turned away at the
+// door with an `overloaded` error and a retry-after hint, so memory stays
+// bounded and the latency of accepted requests stays bounded too — the
+// system-level analogue of the paper's adaptive hold logic, which sheds
+// precision (two-cycle issue) instead of failing when paths age past the
+// clock period.
+//
+// Degradation tiers, derived from instantaneous queue occupancy:
+//
+//   tier 0 (occupancy < shed_refill_frac): everything admitted;
+//   tier 1 (>= shed_refill_frac): queries that would *refill* the
+//     aged-state cache (a miss costs an expensive aging recompute) are
+//     shed; cache hits still flow — protect the cheap common case;
+//   tier 2 (>= shed_batch_frac): batch campaign work is rejected too;
+//   any tier, queue full: every queueable request is rejected.
+//
+// Control-plane requests never enter the queue at all (see protocol.hpp),
+// so health checks answer even at tier 2 with a full queue.
+//
+// Within the queue, normal requests dequeue before batch requests — a
+// long campaign must never head-of-line-block interactive queries.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "src/serve/protocol.hpp"
+
+namespace agingsim::serve {
+
+struct AdmissionConfig {
+  std::size_t capacity = 64;      ///< queued (not yet running) requests
+  double shed_refill_frac = 0.5;  ///< tier 1 threshold (occupancy fraction)
+  double shed_batch_frac = 0.8;   ///< tier 2 threshold
+  /// Retry-after hint scale: hint = ceil(occupancy * avg_service_ms),
+  /// clamped to [min_hint, max_hint]. avg_service_ms is fed by the workers
+  /// (EWMA), so the hint tracks the actual drain rate.
+  std::int64_t retry_after_min_ms = 10;
+  std::int64_t retry_after_max_ms = 2000;
+};
+
+/// Admission verdict for one request.
+struct AdmissionDecision {
+  bool admitted = false;
+  ErrorCode reason = ErrorCode::kOverloaded;  ///< valid when !admitted
+  std::int64_t retry_after_ms = 0;            ///< valid when !admitted
+};
+
+/// Pure admission policy: given the queue state, decide. Split from the
+/// queue so the tier ladder is unit-testable without threads.
+AdmissionDecision admit(const AdmissionConfig& config, Priority priority,
+                        bool needs_cache_refill, std::size_t depth,
+                        double avg_service_ms);
+
+/// Degradation tier for a given occupancy (0, 1 or 2) — for status
+/// reporting and tests.
+int degradation_tier(const AdmissionConfig& config, std::size_t depth);
+
+/// The bounded, priority-aware queue itself. T is the job type (the
+/// server's ticket struct); the queue owns admitted jobs until pop.
+/// Thread-safe.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config) : config_(config) {}
+
+  const AdmissionConfig& config() const noexcept { return config_; }
+
+  /// Applies the admission policy and, when admitted, enqueues. A closed
+  /// (draining) queue rejects everything with kDraining.
+  AdmissionDecision try_push(T job, Priority priority,
+                             bool needs_cache_refill) {
+    std::unique_lock lk(mutex_);
+    if (closed_) {
+      return AdmissionDecision{.admitted = false,
+                               .reason = ErrorCode::kDraining,
+                               .retry_after_ms = 0};
+    }
+    const AdmissionDecision decision =
+        admit(config_, priority, needs_cache_refill, depth_locked(),
+              avg_service_ms_);
+    if (!decision.admitted) return decision;
+    if (priority == Priority::kBatch) {
+      batch_.push_back(std::move(job));
+    } else {
+      normal_.push_back(std::move(job));
+    }
+    lk.unlock();
+    cv_.notify_one();
+    return decision;
+  }
+
+  /// Blocks for the next job (normal before batch). Returns nullopt only
+  /// after close() once the queue is empty — the worker shutdown signal.
+  std::optional<T> pop() {
+    std::unique_lock lk(mutex_);
+    cv_.wait(lk, [&] { return closed_ || depth_locked() > 0; });
+    if (depth_locked() == 0) return std::nullopt;
+    std::deque<T>& q = normal_.empty() ? batch_ : normal_;
+    T job = std::move(q.front());
+    q.pop_front();
+    return job;
+  }
+
+  /// Stops intake (push rejects with kDraining) and wakes blocked workers
+  /// once the backlog is gone.
+  void close() {
+    {
+      std::lock_guard lk(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mutex_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lk(mutex_);
+    return depth_locked();
+  }
+
+  int tier() const {
+    std::lock_guard lk(mutex_);
+    return degradation_tier(config_, depth_locked());
+  }
+
+  /// Workers report each completed request's service time; an EWMA feeds
+  /// the retry-after hint.
+  void record_service_ms(double ms) {
+    std::lock_guard lk(mutex_);
+    constexpr double kAlpha = 0.2;
+    avg_service_ms_ = avg_service_ms_ <= 0.0
+                          ? ms
+                          : (1.0 - kAlpha) * avg_service_ms_ + kAlpha * ms;
+  }
+
+  double avg_service_ms() const {
+    std::lock_guard lk(mutex_);
+    return avg_service_ms_;
+  }
+
+ private:
+  std::size_t depth_locked() const { return normal_.size() + batch_.size(); }
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> normal_;
+  std::deque<T> batch_;
+  bool closed_ = false;
+  double avg_service_ms_ = 0.0;
+};
+
+}  // namespace agingsim::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+// LRU cache of aged-netlist state for the serving daemon (docs/SERVING.md).
+//
+// Aging a netlist is the expensive half of a query: extracting a stress
+// profile, evaluating per-gate delay scales at the requested year, and
+// replaying the canonical workload into a gate-level trace costs orders of
+// magnitude more than scoring that trace through the architectural policy.
+// The daemon therefore caches the (delay scales, mean dVth, op trace) of
+// each aged corner keyed by its configuration digest (runtime::Digest of
+// arch/width/years/workload — the same fingerprint discipline as the
+// checkpoint store), so repeat queries against a warm corner do only the
+// cheap replay.
+//
+// Eviction is by byte budget, not entry count: one 32-bit corner at 100k
+// ops holds ~8 MB of trace, so counting entries would make the budget
+// meaningless. Least-recently-used corners evict first. A single entry
+// larger than the whole budget is simply not cached (get-compute-drop),
+// never wedged in by evicting everything else.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/vl_multiplier.hpp"
+
+namespace agingsim::serve {
+
+/// Cached state of one aged corner.
+struct AgedCorner {
+  std::vector<double> delay_scales;  ///< per-gate aging multipliers
+  double mean_dvth_v = 0.0;
+  std::vector<OpTrace> trace;  ///< canonical workload through the aged gates
+
+  std::size_t byte_size() const noexcept {
+    return sizeof(AgedCorner) + delay_scales.size() * sizeof(double) +
+           trace.size() * sizeof(OpTrace);
+  }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_oversize = 0;  ///< entries larger than the budget
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t budget_bytes = 0;
+};
+
+/// Thread-safe byte-budgeted LRU. get() copies the entry out — the cache
+/// must never hand out references that an eviction on another thread could
+/// invalidate mid-query.
+class AgedStateCache {
+ public:
+  explicit AgedStateCache(std::size_t budget_bytes);
+
+  /// Copies out the corner and refreshes its recency; counts a hit/miss.
+  std::optional<AgedCorner> get(std::uint64_t key);
+
+  /// True without touching recency or hit/miss counters — the admission
+  /// path uses this to classify a query as a cache refill.
+  bool contains(std::uint64_t key) const;
+
+  /// Inserts (or replaces) and evicts LRU entries until the budget holds.
+  /// Oversize entries are counted and dropped.
+  void put(std::uint64_t key, AgedCorner corner);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    AgedCorner corner;
+    std::size_t bytes = 0;
+  };
+
+  void evict_to_fit_locked(std::size_t incoming_bytes);
+
+  mutable std::mutex mutex_;
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace agingsim::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+// Minimal strict JSON parser for the serving protocol (docs/SERVING.md).
+// The repo has had a JsonWriter since PR 1; the daemon is the first
+// consumer of *incoming* JSON, and a serving daemon must treat every frame
+// as hostile: the parser enforces UTF-8-agnostic byte handling, a nesting
+// depth limit, strict number syntax, and complete-input consumption, and
+// reports failures as a position + message instead of throwing from the
+// socket thread. Numbers keep their raw token alongside the double so
+// 64-bit ids and seeds round-trip exactly (a double only holds 53 bits).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agingsim::serve {
+
+class JsonValue;
+
+/// Object members keep insertion order (useful for deterministic echo) but
+/// lookups are by linear scan — protocol objects are small.
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return number_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const JsonArray& as_array() const noexcept { return array_; }
+  const JsonMembers& as_object() const noexcept { return members_; }
+  /// Raw number token as it appeared on the wire ("-3", "1e9", ...).
+  const std::string& number_token() const noexcept { return string_; }
+
+  /// Exact integer views of a number: nullopt when the token has a
+  /// fraction/exponent or does not fit the target type.
+  std::optional<std::int64_t> as_i64() const;
+  std::optional<std::uint64_t> as_u64() const;
+
+  /// Member lookup; nullptr when not an object or the key is absent.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed member accessors with defaults — the shape request handlers
+  /// want: `params.u64_or("seed", 0xFA17)`. A present-but-wrong-type
+  /// member counts as absent; validate separately where that matters.
+  double num_or(std::string_view key, double fallback) const;
+  std::int64_t i64_or(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+  std::string str_or(std::string_view key, std::string_view fallback) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v, std::string token);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(JsonArray v);
+  static JsonValue make_object(JsonMembers v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  ///< string value, or raw number token
+  JsonArray array_;
+  JsonMembers members_;
+};
+
+/// Parse failure: byte offset into the input plus a human-readable reason.
+struct JsonError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Strict parse of one complete JSON document. Rejects trailing bytes,
+/// unterminated containers, bad escapes, leading zeros, and nesting deeper
+/// than `max_depth`. On failure returns nullopt and fills `error` when
+/// given.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    JsonError* error = nullptr,
+                                    int max_depth = 64);
+
+}  // namespace agingsim::serve

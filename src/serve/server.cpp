@@ -1,0 +1,484 @@
+#include "src/serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/report/json.hpp"
+
+namespace agingsim::serve {
+namespace {
+
+constexpr std::array<double, 10> kLatencyBucketsUs = {
+    100.0,     250.0,     1'000.0,    5'000.0,     25'000.0,
+    100'000.0, 500'000.0, 1'000'000.0, 5'000'000.0, 30'000'000.0};
+
+struct ServerMetrics {
+  const obs::Counter& connections =
+      obs::counter("serve.connections", false);
+  const obs::Counter& accepted = obs::counter("serve.accepted", false);
+  const obs::Counter& completed = obs::counter("serve.completed", false);
+  const obs::Counter& failed = obs::counter("serve.failed", false);
+  const obs::Counter& rejected_overload =
+      obs::counter("serve.rejected_overload", false);
+  const obs::Counter& shed_refill = obs::counter("serve.shed_refill", false);
+  const obs::Counter& shed_batch = obs::counter("serve.shed_batch", false);
+  const obs::Counter& rejected_draining =
+      obs::counter("serve.rejected_draining", false);
+  const obs::Counter& timed_out = obs::counter("serve.timed_out", false);
+  const obs::Counter& cancelled = obs::counter("serve.cancelled", false);
+  const obs::Counter& bad_request = obs::counter("serve.bad_request", false);
+  const obs::Gauge& queue_depth = obs::gauge("serve.queue_depth", false);
+  const obs::Histogram& request_us =
+      obs::histogram("serve.request_us", kLatencyBucketsUs, false);
+  const obs::Histogram& queue_wait_us =
+      obs::histogram("serve.queue_wait_us", kLatencyBucketsUs, false);
+};
+
+const ServerMetrics& server_metrics() {
+  static const ServerMetrics m;
+  return m;
+}
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+void count_rejection(ErrorCode code) {
+  const ServerMetrics& m = server_metrics();
+  switch (code) {
+    case ErrorCode::kOverloaded: m.rejected_overload.add(); break;
+    case ErrorCode::kShedRefill: m.shed_refill.add(); break;
+    case ErrorCode::kShedBatch: m.shed_batch.add(); break;
+    case ErrorCode::kDraining: m.rejected_draining.add(); break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+// --- DeadlineRegistry -----------------------------------------------------
+
+DeadlineRegistry::DeadlineRegistry() : thread_([this] { loop(); }) {}
+
+DeadlineRegistry::~DeadlineRegistry() { stop(); }
+
+void DeadlineRegistry::arm(std::chrono::steady_clock::time_point deadline,
+                           std::shared_ptr<runtime::CancelToken> token) {
+  {
+    std::lock_guard lk(mutex_);
+    entries_.push_back(Entry{deadline, std::move(token)});
+  }
+  cv_.notify_one();
+}
+
+void DeadlineRegistry::track(std::shared_ptr<runtime::CancelToken> token) {
+  arm(std::chrono::steady_clock::time_point::max(), std::move(token));
+}
+
+void DeadlineRegistry::cancel_all_at(
+    std::chrono::steady_clock::time_point when) {
+  {
+    std::lock_guard lk(mutex_);
+    hammer_ = std::min(hammer_, when);
+  }
+  cv_.notify_one();
+}
+
+void DeadlineRegistry::cancel_all() {
+  std::lock_guard lk(mutex_);
+  cancel_all_locked();
+}
+
+void DeadlineRegistry::cancel_all_locked() {
+  for (const Entry& e : entries_) {
+    if (auto token = e.token.lock()) token->cancel();
+  }
+  entries_.clear();
+}
+
+void DeadlineRegistry::stop() {
+  {
+    std::lock_guard lk(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DeadlineRegistry::loop() {
+  std::unique_lock lk(mutex_);
+  while (!stop_) {
+    // Expired or abandoned (job finished, token freed) entries drop out;
+    // the next wake is the earliest surviving *finite* deadline. Entries
+    // without one (track()) only matter to cancel_all, so with none finite
+    // the loop parks until arm()/stop() notifies — the lock is held from
+    // scan to wait, so no notification can slip through unseen.
+    const auto now = std::chrono::steady_clock::now();
+    if (hammer_ <= now) {
+      cancel_all_locked();
+      hammer_ = std::chrono::steady_clock::time_point::max();
+    }
+    auto next = hammer_;
+    std::erase_if(entries_, [&](const Entry& e) {
+      auto token = e.token.lock();
+      if (token == nullptr) return true;
+      if (e.deadline <= now) {
+        token->cancel();
+        return true;
+      }
+      next = std::min(next, e.deadline);
+      return false;
+    });
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      cv_.wait(lk);
+    } else {
+      cv_.wait_until(lk, next);
+    }
+  }
+}
+
+// --- Connection -----------------------------------------------------------
+
+bool Server::Connection::send(std::string_view payload) {
+  std::lock_guard lk(write_mutex);
+  return write_frame_fd(fd, payload);
+}
+
+void Server::Connection::shutdown_read() noexcept {
+  // Unblocks a connection thread parked in read_frame_fd without racing
+  // the fd's lifetime (close happens once the thread exits).
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+// --- Server ---------------------------------------------------------------
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_budget_bytes),
+      service_(config_.service, &cache_),
+      queue_(config_.admission) {}
+
+Server::~Server() {
+  drain();
+  wait();
+}
+
+bool Server::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  if (config_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long: " + config_.socket_path;
+    }
+    return false;
+  }
+  if (pipe(wake_pipe_) != 0) return fail("pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  // A stale socket file from a killed daemon would make bind fail; the
+  // kill-and-restart resume path depends on a fresh bind succeeding.
+  ::unlink(config_.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + config_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+
+  started_at_ = std::chrono::steady_clock::now();
+  started_.store(true, std::memory_order_release);
+  const int workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  listener_ = std::thread([this] { listener_loop(); });
+  return true;
+}
+
+void Server::wake_listener() noexcept {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::drain() {
+  if (draining_.exchange(true)) return;
+  wake_listener();
+  queue_.close();
+  // After the grace period, cancel whatever is still queued or running:
+  // campaigns checkpoint their completed units and return `cancelled`, so
+  // no work is lost — it resumes on the next daemon start.
+  deadlines_.cancel_all_at(std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(config_.drain_grace_ms));
+}
+
+void Server::wait() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  deadlines_.stop();
+  {
+    std::lock_guard lk(conns_mutex_);
+    for (const auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->shutdown_read();
+    }
+  }
+  std::vector<std::thread> conn_threads;
+  {
+    std::lock_guard lk(conn_threads_mutex_);
+    conn_threads.swap(conn_threads_);
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  started_.store(false, std::memory_order_release);
+}
+
+void Server::listener_loop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    std::array<pollfd, 2> fds{{{listen_fd_, POLLIN, 0},
+                               {wake_pipe_[0], POLLIN, 0}}};
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // drain() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    server_metrics().connections.add();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client;
+    {
+      std::lock_guard lk(conns_mutex_);
+      std::erase_if(conns_, [](const auto& w) { return w.expired(); });
+      conns_.push_back(conn);
+    }
+    std::lock_guard lk(conn_threads_mutex_);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable {
+          connection_loop(std::move(conn));
+        });
+  }
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::optional<std::string> payload = read_frame_fd(conn->fd);
+    if (!payload.has_value()) break;  // EOF, poisoned stream, or shutdown
+    std::string bad_request_body;
+    std::optional<Request> request =
+        parse_request(*payload, &bad_request_body);
+    if (!request.has_value()) {
+      server_metrics().bad_request.add();
+      if (!conn->send(bad_request_body)) break;
+      continue;
+    }
+    if (request->priority == Priority::kControl) {
+      handle_control(*conn, *request);
+      continue;
+    }
+    dispatch_queueable(*conn, conn, std::move(*request));
+  }
+  ::close(conn->fd);
+}
+
+void Server::handle_control(Connection& conn, const Request& request) {
+  obs::TraceSpan span("serve.control", request.id);
+  if (request.method == "health") {
+    JsonWriter json;
+    json.begin_object();
+    json.key("status").value(draining() ? "draining" : "ok");
+    json.end_object();
+    conn.send(ok_response(request.id, json.str()));
+    return;
+  }
+  if (request.method == "status") {
+    conn.send(ok_response(request.id, status_json()));
+    return;
+  }
+  if (request.method == "metrics") {
+    conn.send(ok_response(request.id, obs::metrics_json()));
+    return;
+  }
+  if (request.method == "shutdown") {
+    conn.send(ok_response(request.id, "{\"draining\": true}"));
+    drain();
+    return;
+  }
+  conn.send(error_response(request.id, ErrorCode::kBadRequest,
+                           "unknown control method '" + request.method + "'"));
+}
+
+std::string Server::status_json() const {
+  const CacheStats cs = cache_.stats();
+  const std::size_t depth = queue_.depth();
+  JsonWriter json;
+  json.begin_object();
+  json.key("draining").value(draining());
+  json.key("workers").value(static_cast<std::int64_t>(config_.workers));
+  json.key("queue_depth").value(static_cast<std::uint64_t>(depth));
+  json.key("queue_capacity")
+      .value(static_cast<std::uint64_t>(config_.admission.capacity));
+  json.key("degradation_tier")
+      .value(static_cast<std::int64_t>(queue_.tier()));
+  json.key("in_flight").value(in_flight_.load(std::memory_order_acquire));
+  json.key("avg_service_ms").value(queue_.avg_service_ms());
+  json.key("uptime_ms")
+      .value(static_cast<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - started_at_)
+              .count()));
+  json.key("cache").begin_object();
+  json.key("entries").value(static_cast<std::uint64_t>(cs.entries));
+  json.key("bytes").value(static_cast<std::uint64_t>(cs.bytes));
+  json.key("budget_bytes")
+      .value(static_cast<std::uint64_t>(config_.cache_budget_bytes));
+  json.key("hits").value(cs.hits);
+  json.key("misses").value(cs.misses);
+  json.key("insertions").value(cs.insertions);
+  json.key("evictions").value(cs.evictions);
+  json.key("rejected_oversize").value(cs.rejected_oversize);
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+void Server::dispatch_queueable(Connection& conn,
+                                std::shared_ptr<Connection> self,
+                                Request request) {
+  // Tier-1 classification: a query that would miss the aged-state cache
+  // triggers an expensive aging recompute, so under pressure those are
+  // shed while cache hits keep flowing.
+  bool needs_refill = false;
+  if (request.method == "query") {
+    const auto key = service_.query_cache_key(request.params);
+    needs_refill = key.has_value() && !cache_.contains(*key);
+  }
+
+  Job job;
+  job.request = std::move(request);
+  job.conn = std::move(self);
+  job.token = std::make_shared<runtime::CancelToken>();
+  job.enqueued = std::chrono::steady_clock::now();
+  const std::int64_t deadline_ms = job.request.deadline_ms > 0
+                                       ? job.request.deadline_ms
+                                       : config_.default_deadline_ms;
+  job.deadline = deadline_ms > 0
+                     ? job.enqueued + std::chrono::milliseconds(deadline_ms)
+                     : std::chrono::steady_clock::time_point::max();
+
+  const std::uint64_t id = job.request.id;
+  const Priority priority = job.request.priority;
+  auto token = job.token;
+  const auto deadline = job.deadline;
+  const AdmissionDecision decision =
+      queue_.try_push(std::move(job), priority, needs_refill);
+  if (!decision.admitted) {
+    count_rejection(decision.reason);
+    conn.send(error_response(id, decision.reason,
+                             std::string("rejected: ") +
+                                 std::string(error_code_name(decision.reason)),
+                             decision.retry_after_ms));
+    return;
+  }
+  server_metrics().accepted.add();
+  server_metrics().queue_depth.record(
+      static_cast<std::int64_t>(queue_.depth()));
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    deadlines_.arm(deadline, std::move(token));
+  } else {
+    deadlines_.track(std::move(token));
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::optional<Job> job = queue_.pop();
+    if (!job.has_value()) return;  // queue closed and empty: drain done
+    const auto started = std::chrono::steady_clock::now();
+    server_metrics().queue_wait_us.observe(us_between(job->enqueued, started));
+    in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
+    std::string response;
+    if (job->token->cancelled()) {
+      // Deadline (or drain hammer) fired while the job sat in the queue.
+      const bool timed_out = started >= job->deadline;
+      server_metrics().failed.add();
+      (timed_out ? server_metrics().timed_out : server_metrics().cancelled)
+          .add();
+      response = error_response(
+          job->request.id,
+          timed_out ? ErrorCode::kTimeout : ErrorCode::kCancelled,
+          timed_out ? "deadline expired while queued" : "cancelled by drain");
+    } else {
+      HandlerResult result = service_.handle(job->request, *job->token);
+      const auto finished = std::chrono::steady_clock::now();
+      if (result.ok) {
+        server_metrics().completed.add();
+        response = ok_response(job->request.id, result.result_json);
+      } else {
+        server_metrics().failed.add();
+        ErrorCode code = result.code;
+        if (code == ErrorCode::kCancelled && finished >= job->deadline) {
+          code = ErrorCode::kTimeout;
+          result.message = "deadline expired: " + result.message;
+        }
+        switch (code) {
+          case ErrorCode::kTimeout: server_metrics().timed_out.add(); break;
+          case ErrorCode::kCancelled: server_metrics().cancelled.add(); break;
+          case ErrorCode::kBadRequest:
+            server_metrics().bad_request.add();
+            break;
+          default: break;
+        }
+        response = error_response(job->request.id, code, result.message);
+      }
+    }
+    const auto done = std::chrono::steady_clock::now();
+    server_metrics().request_us.observe(us_between(job->enqueued, done));
+    queue_.record_service_ms(
+        std::chrono::duration<double, std::milli>(done - started).count());
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    job->conn->send(response);
+  }
+}
+
+}  // namespace agingsim::serve

@@ -1,0 +1,162 @@
+// Failure-injection tests for the checkpoint write path
+// (src/runtime/checkpoint.cpp). The write hook stands in for write(2) so
+// the tests can exercise the exact syscall contracts — short writes, EINTR
+// storms, ENOSPC — that a loaded filesystem produces and a quiet CI
+// machine never does.
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/runtime/checkpoint.hpp"
+#include "src/runtime/run_error.hpp"
+
+namespace agingsim::runtime {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The hook is a plain function pointer, so behavior is steered through
+// file-scope state reset in SetUp.
+std::atomic<long> g_bytes_until_failure{-1};  // -1: never fail
+std::atomic<int> g_failure_errno{ENOSPC};
+std::atomic<int> g_eintr_budget{0};  // EINTR returns before each real write
+std::atomic<bool> g_single_byte{false};
+
+long faulty_write(int fd, const void* buf, std::size_t count) {
+  if (g_eintr_budget.load() > 0) {
+    g_eintr_budget.fetch_sub(1);
+    errno = EINTR;
+    return -1;
+  }
+  const long remaining = g_bytes_until_failure.load();
+  if (remaining == 0) {
+    errno = g_failure_errno.load();
+    return -1;
+  }
+  std::size_t n = count;
+  if (g_single_byte.load()) n = 1;
+  if (remaining > 0 && static_cast<long>(n) > remaining) {
+    n = static_cast<std::size_t>(remaining);
+  }
+  const ssize_t written = ::write(fd, buf, n);
+  if (written > 0 && remaining > 0) {
+    g_bytes_until_failure.fetch_sub(written);
+  }
+  return written;
+}
+
+class CheckpointFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           (std::string("agingsim_ckpt_fault_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    g_bytes_until_failure = -1;
+    g_failure_errno = ENOSPC;
+    g_eintr_budget = 0;
+    g_single_byte = false;
+    set_checkpoint_write_hook_for_testing(&faulty_write);
+  }
+
+  void TearDown() override {
+    set_checkpoint_write_hook_for_testing(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  std::size_t files_with_extension(const char* ext) const {
+    std::size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (entry.path().extension() == ext) ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointFaultTest, EnospcIsPermanentWithActionableMessage) {
+  CheckpointStore store(dir_, /*config_digest=*/0xABCDu);
+  g_bytes_until_failure = 0;  // first write fails: disk full from byte one
+  try {
+    store.persist(3, "payload");
+    FAIL() << "persist on a full disk must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kPermanent)
+        << "retrying a full disk burns the retry budget for nothing";
+    const std::string what = e.what();
+    EXPECT_NE(what.find("disk full (ENOSPC"), std::string::npos) << what;
+    EXPECT_NE(what.find("--resume"), std::string::npos) << what;
+  }
+  // No torn file of either kind is left behind.
+  EXPECT_EQ(files_with_extension(".tmp"), 0u);
+  EXPECT_EQ(files_with_extension(".ckpt"), 0u);
+  EXPECT_FALSE(store.has(3));
+}
+
+TEST_F(CheckpointFaultTest, PartialWriteThenEnospcLeavesNoTornCheckpoint) {
+  CheckpointStore store(dir_, 0xABCDu);
+  ASSERT_NO_THROW(store.persist(1, "unit-one-payload"));  // complete unit
+  g_bytes_until_failure = 10;  // next write dies mid-payload
+  EXPECT_THROW(store.persist(2, "unit-two-payload"), RunError);
+  EXPECT_EQ(files_with_extension(".tmp"), 0u);
+  EXPECT_EQ(files_with_extension(".ckpt"), 1u);  // only the complete unit
+
+  // A fresh store (the restarted process) sees exactly the complete unit.
+  g_bytes_until_failure = -1;
+  CheckpointStore resumed(dir_, 0xABCDu);
+  const CheckpointScan scan = resumed.load();
+  EXPECT_EQ(scan.loaded, 1u);
+  EXPECT_EQ(scan.discarded, 0u);
+  EXPECT_EQ(resumed.restore(1).value(), "unit-one-payload");
+  EXPECT_FALSE(resumed.has(2));
+  // And the unit that failed can now be written.
+  ASSERT_NO_THROW(resumed.persist(2, "unit-two-payload"));
+  EXPECT_EQ(resumed.restore(2).value(), "unit-two-payload");
+}
+
+TEST_F(CheckpointFaultTest, ShortWritesAreContinuedToCompletion) {
+  CheckpointStore store(dir_, 0x1234u);
+  g_single_byte = true;  // every write(2) returns a 1-byte partial count
+  const std::string payload(257, 'z');
+  ASSERT_NO_THROW(store.persist(7, payload));
+
+  CheckpointStore reread(dir_, 0x1234u);
+  EXPECT_EQ(reread.load().loaded, 1u);
+  EXPECT_EQ(reread.restore(7).value(), payload);
+}
+
+TEST_F(CheckpointFaultTest, EintrStormIsRetriedNotFatal) {
+  CheckpointStore store(dir_, 0x1234u);
+  g_eintr_budget = 64;  // a burst of interrupted syscalls before progress
+  ASSERT_NO_THROW(store.persist(5, "signal-riddled"));
+  CheckpointStore reread(dir_, 0x1234u);
+  EXPECT_EQ(reread.load().loaded, 1u);
+  EXPECT_EQ(reread.restore(5).value(), "signal-riddled");
+}
+
+TEST_F(CheckpointFaultTest, NonEnospcErrorsNameTheFailingStep) {
+  CheckpointStore store(dir_, 0x1234u);
+  g_bytes_until_failure = 0;
+  g_failure_errno = EIO;
+  try {
+    store.persist(1, "x");
+    FAIL() << "EIO must throw";
+  } catch (const RunError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kPermanent);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("write failed:"), std::string::npos) << what;
+    EXPECT_EQ(what.find("disk full"), std::string::npos) << what;
+  }
+  EXPECT_EQ(files_with_extension(".tmp"), 0u);
+}
+
+}  // namespace
+}  // namespace agingsim::runtime

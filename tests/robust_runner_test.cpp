@@ -524,5 +524,118 @@ TEST(RobustRunnerTest, WaitUntilReturnsAtDeadlineWithoutCancel) {
   EXPECT_NO_THROW(token.poll());
 }
 
+// --- external stop token (SIGTERM handlers, daemon drain) ---------------
+
+TEST(RobustRunnerTest, PreCancelledStopTokenSkipsEveryUnit) {
+  RunnerConfig config = fast_config();
+  CancelToken stop;
+  stop.cancel();
+  config.stop = &stop;
+  RobustRunner runner(config);
+  RunReport report;
+  std::atomic<int> executed{0};
+  const auto payloads = runner.run(
+      8,
+      [&](std::uint64_t, const CancelToken&) {
+        executed.fetch_add(1);
+        return std::string("x");
+      },
+      &report);
+  EXPECT_EQ(executed.load(), 0) << "no unit may start after the stop";
+  ASSERT_EQ(payloads.size(), 8u);
+  EXPECT_EQ(report.skipped, 8u);
+  EXPECT_TRUE(report.interrupted());
+  EXPECT_FALSE(report.all_ok());
+  for (const UnitOutcome& u : report.units) {
+    EXPECT_EQ(u.state, UnitState::kSkipped);
+    EXPECT_EQ(u.attempts, 0);
+  }
+}
+
+TEST(RobustRunnerTest, MidRunStopSkipsTheRemainderAndKeepsCompletedWork) {
+  TempDir dir("midrun_stop");
+  CheckpointStore store(dir.path(), 0x51u);
+  store.load();
+  RunnerConfig config = fast_config();
+  CancelToken stop;
+  config.stop = &stop;
+  config.checkpoints = &store;
+  RobustRunner runner(config);
+  RunReport report;
+  // The third unit pulls the plug, the way a signal handler would from
+  // another thread. Units are processed by a pool, so exactly *which*
+  // units complete is timing-dependent; the invariants below are not.
+  std::atomic<int> started{0};
+  runner.run(
+      32,
+      [&](std::uint64_t unit, const CancelToken&) {
+        if (started.fetch_add(1) == 2) stop.cancel();
+        return "payload-" + std::to_string(unit);
+      },
+      &report);
+  EXPECT_TRUE(report.interrupted());
+  EXPECT_GT(report.skipped, 0u) << "a 32-unit run outlived the stop";
+  EXPECT_GT(report.computed, 0u);
+  EXPECT_EQ(report.computed + report.skipped, 32u);
+  // Every computed unit reached the checkpoint store before the return.
+  EXPECT_EQ(store.size(), report.computed);
+
+  // A resumed run restores the completed units and computes only the
+  // skipped ones, producing payloads identical to an uninterrupted run.
+  CheckpointStore resumed_store(dir.path(), 0x51u);
+  EXPECT_EQ(resumed_store.load().loaded, report.computed);
+  RunnerConfig resume_config = fast_config();
+  resume_config.checkpoints = &resumed_store;
+  RobustRunner resumed(resume_config);
+  RunReport resume_report;
+  const auto payloads = resumed.run(
+      32,
+      [](std::uint64_t unit, const CancelToken&) {
+        return "payload-" + std::to_string(unit);
+      },
+      &resume_report);
+  EXPECT_EQ(resume_report.restored, report.computed);
+  EXPECT_EQ(resume_report.computed, report.skipped);
+  EXPECT_TRUE(resume_report.all_ok());
+  for (std::uint64_t unit = 0; unit < 32; ++unit) {
+    EXPECT_EQ(payloads[unit], "payload-" + std::to_string(unit));
+  }
+}
+
+TEST(RobustRunnerTest, StopTokenCancelsInFlightAttemptsCooperatively) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 0;
+  CancelToken stop;
+  config.stop = &stop;
+  RobustRunner runner(config);
+  RunReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  runner.run(
+      1,
+      [&](std::uint64_t, const CancelToken& cancel) -> std::string {
+        stop.cancel();  // the signal arrives while the unit is running
+        // A cooperative task blocks on the token, not a fixed sleep.
+        cancel.wait_until(std::chrono::steady_clock::now() +
+                          std::chrono::seconds(30));
+        cancel.poll();  // throws kTimeout once cancelled
+        return "unreachable";
+      },
+      &report);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10))
+      << "in-flight attempt was not cancelled by the stop token";
+  EXPECT_EQ(report.computed, 0u);
+  EXPECT_FALSE(report.all_ok());
+}
+
+TEST(RunReportTest, SummaryMentionsSkippedUnits) {
+  RunReport report;
+  report.units.resize(3);
+  report.computed = 1;
+  report.skipped = 2;
+  const std::string line = report.summary();
+  EXPECT_NE(line.find("1 computed"), std::string::npos) << line;
+  EXPECT_NE(line.find("2 skipped"), std::string::npos) << line;
+}
+
 }  // namespace
 }  // namespace agingsim::runtime

@@ -1,0 +1,134 @@
+// Tests for agingd admission control: the tier ladder, retry-after hints
+// and the bounded priority queue (src/serve/admission.hpp).
+
+#include "src/serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace agingsim::serve {
+namespace {
+
+AdmissionConfig small_config() {
+  AdmissionConfig c;
+  c.capacity = 10;
+  c.shed_refill_frac = 0.5;
+  c.shed_batch_frac = 0.8;
+  return c;
+}
+
+TEST(ServeAdmission, TierLadder) {
+  const AdmissionConfig c = small_config();
+  EXPECT_EQ(degradation_tier(c, 0), 0);
+  EXPECT_EQ(degradation_tier(c, 4), 0);
+  EXPECT_EQ(degradation_tier(c, 5), 1);   // >= 50%
+  EXPECT_EQ(degradation_tier(c, 7), 1);
+  EXPECT_EQ(degradation_tier(c, 8), 2);   // >= 80%
+  EXPECT_EQ(degradation_tier(c, 10), 2);
+}
+
+TEST(ServeAdmission, Tier0AdmitsEverything) {
+  const AdmissionConfig c = small_config();
+  EXPECT_TRUE(admit(c, Priority::kNormal, false, 0, 1.0).admitted);
+  EXPECT_TRUE(admit(c, Priority::kNormal, true, 0, 1.0).admitted);
+  EXPECT_TRUE(admit(c, Priority::kBatch, false, 0, 1.0).admitted);
+}
+
+TEST(ServeAdmission, Tier1ShedsCacheRefillsOnly) {
+  const AdmissionConfig c = small_config();
+  const std::size_t depth = 5;  // tier 1
+  EXPECT_TRUE(admit(c, Priority::kNormal, false, depth, 1.0).admitted);
+  const AdmissionDecision refill =
+      admit(c, Priority::kNormal, true, depth, 1.0);
+  EXPECT_FALSE(refill.admitted);
+  EXPECT_EQ(refill.reason, ErrorCode::kShedRefill);
+  // Batch still flows at tier 1.
+  EXPECT_TRUE(admit(c, Priority::kBatch, false, depth, 1.0).admitted);
+}
+
+TEST(ServeAdmission, Tier2RejectsBatch) {
+  const AdmissionConfig c = small_config();
+  const std::size_t depth = 8;  // tier 2
+  EXPECT_TRUE(admit(c, Priority::kNormal, false, depth, 1.0).admitted);
+  const AdmissionDecision batch =
+      admit(c, Priority::kBatch, false, depth, 1.0);
+  EXPECT_FALSE(batch.admitted);
+  EXPECT_EQ(batch.reason, ErrorCode::kShedBatch);
+}
+
+TEST(ServeAdmission, FullQueueRejectsEverything) {
+  const AdmissionConfig c = small_config();
+  for (const Priority p : {Priority::kNormal, Priority::kBatch}) {
+    const AdmissionDecision d = admit(c, p, false, c.capacity, 1.0);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_EQ(d.reason, ErrorCode::kOverloaded);
+    EXPECT_GE(d.retry_after_ms, c.retry_after_min_ms);
+  }
+}
+
+TEST(ServeAdmission, RetryAfterScalesWithBacklogAndClamps) {
+  const AdmissionConfig c = small_config();
+  const auto hint = [&](double avg_ms) {
+    return admit(c, Priority::kNormal, false, c.capacity, avg_ms)
+        .retry_after_ms;
+  };
+  EXPECT_EQ(hint(0.0), c.retry_after_min_ms);     // no estimate yet: floor
+  EXPECT_GE(hint(50.0), hint(5.0));               // slower service: longer
+  EXPECT_EQ(hint(1e9), c.retry_after_max_ms);     // clamped at the ceiling
+}
+
+TEST(ServeAdmission, QueueNormalPopsBeforeBatch) {
+  AdmissionQueue<int> q(small_config());
+  EXPECT_TRUE(q.try_push(1, Priority::kBatch, false).admitted);
+  EXPECT_TRUE(q.try_push(2, Priority::kNormal, false).admitted);
+  EXPECT_TRUE(q.try_push(3, Priority::kBatch, false).admitted);
+  EXPECT_TRUE(q.try_push(4, Priority::kNormal, false).admitted);
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.pop().value(), 2);  // normals first, FIFO among themselves
+  EXPECT_EQ(q.pop().value(), 4);
+  EXPECT_EQ(q.pop().value(), 1);  // then batch, FIFO
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(ServeAdmission, ClosedQueueRejectsWithDrainingAndDrainsBacklog) {
+  AdmissionQueue<int> q(small_config());
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false).admitted);
+  q.close();
+  const AdmissionDecision d = q.try_push(2, Priority::kNormal, false);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, ErrorCode::kDraining);
+  // The backlog is still served, then pop() signals shutdown.
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ServeAdmission, PopBlocksUntilPushOrClose) {
+  AdmissionQueue<int> q(small_config());
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(q.try_push(9, Priority::kNormal, false).admitted);
+  consumer.join();
+  EXPECT_EQ(got.value(), 9);
+
+  std::thread blocked([&] { got = q.pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  blocked.join();
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST(ServeAdmission, ServiceTimeEwmaFeedsHint) {
+  AdmissionQueue<int> q(small_config());
+  EXPECT_DOUBLE_EQ(q.avg_service_ms(), 0.0);
+  q.record_service_ms(100.0);
+  EXPECT_DOUBLE_EQ(q.avg_service_ms(), 100.0);  // first sample seeds
+  q.record_service_ms(0.0);
+  EXPECT_NEAR(q.avg_service_ms(), 80.0, 1e-9);  // alpha = 0.2
+}
+
+}  // namespace
+}  // namespace agingsim::serve

@@ -1,0 +1,112 @@
+// Tests for the strict JSON parser behind the agingd wire protocol
+// (src/serve/json.hpp). The parser feeds a network-facing daemon, so the
+// rejection cases matter as much as the acceptance cases.
+
+#include "src/serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace agingsim::serve {
+namespace {
+
+TEST(ServeJson, ParsesScalars) {
+  EXPECT_EQ(parse_json("null")->kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("3.25")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_json("-1e3")->as_double(), -1000.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(ServeJson, IntegersRoundTripExactly) {
+  // The raw token is kept so 64-bit seeds survive the double detour.
+  const auto v = parse_json("18446744073709551615");
+  ASSERT_TRUE(v.has_value());
+  const auto u = v->as_u64();
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, 18446744073709551615ULL);
+
+  const auto neg = parse_json("-9223372036854775808");
+  ASSERT_TRUE(neg.has_value());
+  const auto i = neg->as_i64();
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, std::numeric_limits<std::int64_t>::min());
+
+  // A fractional number is not an exact integer.
+  EXPECT_FALSE(parse_json("1.5")->as_i64().has_value());
+}
+
+TEST(ServeJson, ParsesNestedStructures) {
+  const auto v = parse_json(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind(), JsonValue::Kind::kObject);
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->kind(), JsonValue::Kind::kArray);
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[2].str_or("b", ""), "c");
+  EXPECT_TRUE(v->bool_or("f", false));
+}
+
+TEST(ServeJson, StringEscapes) {
+  const auto v = parse_json(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\n\tA");
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  JsonError error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}", &error).has_value());
+  EXPECT_FALSE(parse_json("tru", &error).has_value());
+  EXPECT_FALSE(parse_json("nul", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(parse_json("01", &error).has_value());  // leading zero
+  EXPECT_FALSE(parse_json("+1", &error).has_value());
+  EXPECT_FALSE(parse_json("NaN", &error).has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(ServeJson, RejectsTrailingBytes) {
+  EXPECT_FALSE(parse_json("{} extra").has_value());
+  EXPECT_FALSE(parse_json("1 2").has_value());
+  // Trailing whitespace alone is fine.
+  EXPECT_TRUE(parse_json("{}  \n").has_value());
+}
+
+TEST(ServeJson, DepthLimitStopsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  JsonError error;
+  EXPECT_FALSE(parse_json(deep, &error).has_value());
+  // Within the limit, nesting parses fine.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += "[";
+  for (int i = 0; i < 32; ++i) ok += "]";
+  EXPECT_TRUE(parse_json(ok).has_value());
+}
+
+TEST(ServeJson, AccessorsWithDefaults) {
+  const auto v = parse_json(R"({"n": 4, "s": "x", "b": true, "u": 7})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->i64_or("n", -1), 4);
+  EXPECT_EQ(v->i64_or("missing", -1), -1);
+  EXPECT_EQ(v->str_or("s", "d"), "x");
+  EXPECT_EQ(v->str_or("missing", "d"), "d");
+  EXPECT_TRUE(v->bool_or("b", false));
+  EXPECT_EQ(v->u64_or("u", 0), 7u);
+  // Type mismatches fall back instead of throwing.
+  EXPECT_EQ(v->i64_or("s", -1), -1);
+  EXPECT_EQ(v->str_or("n", "d"), "d");
+}
+
+}  // namespace
+}  // namespace agingsim::serve

@@ -1,0 +1,138 @@
+// Tests for the agingd wire protocol: framing, envelope validation and
+// response builders (src/serve/protocol.hpp).
+
+#include "src/serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/serve/json.hpp"
+
+namespace agingsim::serve {
+namespace {
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  const std::string payload = R"({"id": 1, "method": "health"})";
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), payload.size() + 4);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(frame));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ServeProtocol, DecoderHandlesSplitAndCoalescedFrames) {
+  const std::string a = encode_frame("\"a\"");
+  const std::string b = encode_frame("\"b\"");
+  FrameDecoder decoder;
+  // Byte-at-a-time delivery of two back-to-back frames.
+  const std::string stream = a + b;
+  for (const char c : stream) {
+    ASSERT_TRUE(decoder.feed(std::string_view(&c, 1)));
+  }
+  EXPECT_EQ(decoder.next().value(), "\"a\"");
+  EXPECT_EQ(decoder.next().value(), "\"b\"");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ServeProtocol, OversizedPrefixPoisonsTheStream) {
+  std::string evil(4, '\0');
+  evil[3] = 0x7F;  // little-endian length ~2 GiB
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(evil));
+  EXPECT_TRUE(decoder.poisoned());
+  // A poisoned decoder never yields frames, even for valid follow-up bytes.
+  EXPECT_FALSE(decoder.feed(encode_frame("{}")));
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ServeProtocol, EncodeRefusesOversizedPayload) {
+  std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_TRUE(encode_frame(huge).empty());
+  std::string error;
+  EXPECT_FALSE(write_frame_fd(-1, huge, &error));
+  EXPECT_EQ(error, "payload exceeds kMaxFrameBytes");
+}
+
+TEST(ServeProtocol, ParseRequestValidEnvelope) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"id": 42, "method": "query", "deadline_ms": 500,
+          "params": {"width": 8}})",
+      &error);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->id, 42u);
+  EXPECT_EQ(req->method, "query");
+  EXPECT_EQ(req->priority, Priority::kNormal);
+  EXPECT_EQ(req->deadline_ms, 500);
+  EXPECT_EQ(req->params.i64_or("width", 0), 8);
+}
+
+TEST(ServeProtocol, MethodPriorityClasses) {
+  EXPECT_EQ(method_priority("health"), Priority::kControl);
+  EXPECT_EQ(method_priority("status"), Priority::kControl);
+  EXPECT_EQ(method_priority("metrics"), Priority::kControl);
+  EXPECT_EQ(method_priority("shutdown"), Priority::kControl);
+  EXPECT_EQ(method_priority("query"), Priority::kNormal);
+  EXPECT_EQ(method_priority("work"), Priority::kNormal);
+  EXPECT_EQ(method_priority("campaign"), Priority::kBatch);
+}
+
+TEST(ServeProtocol, ParseRequestRejectsBadEnvelopes) {
+  const char* bad[] = {
+      "not json at all",
+      "[]",                                  // not an object
+      R"({"id": 1})",                        // missing method
+      R"({"id": 1, "method": "nope"})",      // unknown method
+      R"({"id": 1, "method": 7})",           // method not a string
+      R"({"id": 1, "method": "query", "deadline_ms": -5})",
+      R"({"id": 1, "method": "health", "params": []})",  // params not object
+  };
+  for (const char* payload : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_request(payload, &error).has_value()) << payload;
+    // The error body is a ready-to-send bad_request response.
+    const auto doc = parse_json(error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_FALSE(doc->bool_or("ok", true));
+    const JsonValue* err = doc->find("error");
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->str_or("code", ""), "bad_request");
+  }
+}
+
+TEST(ServeProtocol, ResponseBuilders) {
+  const std::string ok = ok_response(7, R"({"x": 1})");
+  const auto ok_doc = parse_json(ok);
+  ASSERT_TRUE(ok_doc.has_value());
+  EXPECT_EQ(ok_doc->u64_or("id", 0), 7u);
+  EXPECT_TRUE(ok_doc->bool_or("ok", false));
+  ASSERT_NE(ok_doc->find("result"), nullptr);
+  EXPECT_EQ(ok_doc->find("result")->i64_or("x", 0), 1);
+
+  const std::string err =
+      error_response(8, ErrorCode::kOverloaded, "queue full", 40);
+  const auto err_doc = parse_json(err);
+  ASSERT_TRUE(err_doc.has_value());
+  EXPECT_FALSE(err_doc->bool_or("ok", true));
+  const JsonValue* e = err_doc->find("error");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->str_or("code", ""), "overloaded");
+  EXPECT_EQ(e->str_or("message", ""), "queue full");
+  EXPECT_EQ(e->i64_or("retry_after_ms", -1), 40);
+}
+
+TEST(ServeProtocol, ErrorMessagesAreJsonEscaped) {
+  const std::string err = error_response(
+      1, ErrorCode::kInternal, "quote \" backslash \\ newline \n done");
+  const auto doc = parse_json(err);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("error")->str_or("message", ""),
+            "quote \" backslash \\ newline \n done");
+}
+
+}  // namespace
+}  // namespace agingsim::serve

@@ -8,12 +8,23 @@
 // emits JSON byte-identical to an uninterrupted run — the property the CI
 // kill-and-resume job asserts with cmp(1).
 //
+// SIGINT/SIGTERM are handled cooperatively: the handler pokes a self-pipe,
+// a watcher thread cancels the runner's stop token, in-flight units wind
+// down, completed units stay checkpointed, trace/metrics artifacts are
+// flushed, and the process exits 130 (SIGINT) or 143 (SIGTERM) — so an
+// interrupted campaign resumes with --resume instead of starting over.
+//
 // Exit codes: 0 = campaign complete, every unit ok;
 //             1 = campaign complete but some units quarantined;
 //             2 = usage error;
 //             3 = checkpoint directory unusable;
-//             86 = chaos-simulated crash (resume loops restart on this).
+//             86 = chaos-simulated crash (resume loops restart on this);
+//             130/143 = interrupted by SIGINT/SIGTERM, partial results
+//                       checkpointed.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +32,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -36,6 +48,57 @@
 namespace {
 
 using namespace agingsim;
+
+// Self-pipe signal plumbing: the handler does the only async-signal-safe
+// things possible (set a flag, write one byte); a watcher thread turns the
+// byte into a cooperative CancelToken::cancel().
+int g_signal_pipe[2] = {-1, -1};
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) {
+  g_signal = sig;
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Installs the handlers and runs the watcher; the destructor releases the
+/// watcher so every return path of run_tool() joins it.
+class SignalGuard {
+ public:
+  explicit SignalGuard(runtime::CancelToken& stop) {
+    if (pipe(g_signal_pipe) != 0) return;
+    armed_ = true;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    // One-shot: a second signal gets the default disposition, so a stuck
+    // drain is never more than one more kill away.
+    sa.sa_flags = SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    watcher_ = std::thread([&stop] {
+      char byte = 0;
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      if (byte == 's') stop.cancel();
+    });
+  }
+  ~SignalGuard() {
+    if (!armed_) return;
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+    watcher_.join();
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+    g_signal_pipe[0] = g_signal_pipe[1] = -1;
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  bool armed_ = false;
+  std::thread watcher_;
+};
 
 struct Options {
   std::string campaign = "fault";  // fault | sweep
@@ -295,6 +358,9 @@ int run_tool(const Options& opt) {
   if (!opt.trace_path.empty()) obs::set_trace_enabled(true);
   if (!opt.metrics_path.empty()) obs::set_metrics_enabled(true);
   runtime::RunnerConfig runner_config = runtime::RunnerConfig::from_env();
+  runtime::CancelToken stop;
+  const SignalGuard signal_guard(stop);
+  runner_config.stop = &stop;
   runner_config.max_retries = opt.max_retries;
   runner_config.deadline = std::chrono::milliseconds(opt.deadline_ms);
   runner_config.backoff_base = std::chrono::milliseconds(opt.backoff_ms);
@@ -366,8 +432,15 @@ int run_tool(const Options& opt) {
     const FaultCampaign campaign(mult, lib, cfg, cc);
     if (!attach_store(campaign.config_digest(pats))) return 3;
     runtime::RobustRunner runner(runner_config);
-    const FaultCampaignStats stats = campaign.run(
-        pats, CampaignRunOptions{.runner = &runner, .report = &report});
+    std::optional<FaultCampaignStats> stats;
+    try {
+      stats = campaign.run(
+          pats, CampaignRunOptions{.runner = &runner, .report = &report});
+    } catch (const runtime::RunError&) {
+      // A signal-interrupted campaign is not an error: completed units are
+      // checkpointed, the JSON says so, and the exit code is 128+signal.
+      if (g_signal == 0) throw;
+    }
 
     json.key("kind").value(fault_kind_name(cc.kind));
     json.key("configured_trials").value(cc.trials);
@@ -376,9 +449,13 @@ int run_tool(const Options& opt) {
       json.key("delay_factor").value(cc.delay_factor);
     }
     json.key("seed").value(cc.seed);
-    json.key("stats").begin_object();
-    emit_stats(json, stats);
-    json.end_object();
+    if (stats.has_value()) {
+      json.key("stats").begin_object();
+      emit_stats(json, *stats);
+      json.end_object();
+    } else {
+      json.key("interrupted").value(true);
+    }
   } else {
     // Period sweep: demonstrate the sweep_periods wiring under the same
     // runtime (unit = one sweep point).
@@ -403,12 +480,16 @@ int run_tool(const Options& opt) {
       if (report.units[i].state == runtime::UnitState::kQuarantined) {
         json.key("quarantined").value(true);
         json.key("period_ps").value(periods[i]);
+      } else if (report.units[i].state == runtime::UnitState::kSkipped) {
+        json.key("skipped").value(true);
+        json.key("period_ps").value(periods[i]);
       } else {
         emit_run_stats(json, points[i]);
       }
       json.end_object();
     }
     json.end_array();
+    if (report.interrupted()) json.key("interrupted").value(true);
   }
   json.end_object();
 
@@ -431,6 +512,15 @@ int run_tool(const Options& opt) {
   if (!opt.trace_path.empty()) (void)obs::write_trace_json(opt.trace_path);
   if (!opt.metrics_path.empty()) {
     (void)obs::write_metrics_json(opt.metrics_path);
+  }
+  if (g_signal != 0) {
+    if (!opt.quiet) {
+      std::fprintf(stderr,
+                   "agingrun: interrupted by signal %d; completed units "
+                   "checkpointed, rerun with --resume\n",
+                   static_cast<int>(g_signal));
+    }
+    return 128 + static_cast<int>(g_signal);
   }
   return write_code != 0 ? write_code : exit_code;
 }
