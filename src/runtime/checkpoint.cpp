@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -241,8 +242,16 @@ void CheckpointStore::clear() {
 void CheckpointStore::persist(std::uint64_t unit, std::string_view payload) {
   obs::TraceSpan span("checkpoint.persist", unit);
   const std::filesystem::path final_path = unit_path(unit);
+  // The tmp name is unique per process and per writer: two stores pointed
+  // at the same directory (e.g. concurrent identically-configured
+  // campaigns) must not O_TRUNC each other's in-progress file, or a torn
+  // write could be renamed into place as a valid-looking .ckpt. Keeps the
+  // ".tmp" extension so load() still sweeps up orphans after a crash.
+  static std::atomic<std::uint64_t> tmp_seq{0};
   std::filesystem::path tmp_path = final_path;
-  tmp_path += ".tmp";
+  tmp_path += "." + std::to_string(::getpid()) + "-" +
+              std::to_string(tmp_seq.fetch_add(1, std::memory_order_relaxed)) +
+              ".tmp";
 
   const std::string header = header_bytes(digest_, unit, payload);
   WriteFailure failure;

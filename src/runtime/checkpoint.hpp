@@ -3,10 +3,11 @@
 // Crash-safe checkpoint store for long campaigns (docs/ROBUSTNESS.md).
 //
 // One file per completed work unit (a fault trial, a sweep point, a
-// seven-year row), written atomically: payload goes to `unit-N.ckpt.tmp`,
-// is fsync'ed, then renamed over `unit-N.ckpt` — so a SIGKILL at any
-// instant leaves either the previous state or the complete new file, never
-// a torn one. Every file carries a magic, a format version, the campaign
+// seven-year row), written atomically: payload goes to a writer-unique
+// `unit-N.ckpt.<pid>-<seq>.tmp` (so two stores sharing a directory never
+// truncate each other's in-progress file), is fsync'ed, then renamed over
+// `unit-N.ckpt` — so a SIGKILL at any instant leaves either the previous
+// state or the complete new file, never a torn one. Every file carries a magic, a format version, the campaign
 // configuration digest and a CRC-32 of the payload; load() discards (with
 // a one-line stderr diagnostic) anything truncated, corrupted, from an old
 // format or from a different configuration, which degrades to a clean

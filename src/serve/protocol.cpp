@@ -1,5 +1,6 @@
 #include "src/serve/protocol.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -190,11 +191,23 @@ bool write_frame_fd(int fd, std::string_view payload, std::string* error) {
     if (error != nullptr) *error = "payload exceeds kMaxFrameBytes";
     return false;
   }
+  // MSG_NOSIGNAL: a reply racing a client disconnect must fail with EPIPE,
+  // not kill the process — the connection may outlive its peer while a
+  // queued Job still holds it. Falls back to write(2) for non-socket fds.
   std::size_t done = 0;
+  bool is_socket = true;
   while (done < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + done, frame.size() - done);
+    const ssize_t n =
+        is_socket
+            ? ::send(fd, frame.data() + done, frame.size() - done,
+                     MSG_NOSIGNAL)
+            : ::write(fd, frame.data() + done, frame.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (is_socket && errno == ENOTSOCK) {
+        is_socket = false;
+        continue;
+      }
       if (error != nullptr) *error = std::strerror(errno);
       return false;
     }

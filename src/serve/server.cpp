@@ -151,6 +151,10 @@ void DeadlineRegistry::loop() {
 
 // --- Connection -----------------------------------------------------------
 
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
 bool Server::Connection::send(std::string_view payload) {
   std::lock_guard lk(write_mutex);
   return write_frame_fd(fd, payload);
@@ -177,7 +181,20 @@ Server::~Server() {
 
 bool Server::start(std::string* error) {
   const auto fail = [&](const std::string& what) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    const int err = errno;  // saved before close() below can clobber it
+    if (error != nullptr) *error = what + ": " + std::strerror(err);
+    // started_ stays false on this path, so wait() would never reach its
+    // cleanup block — release whatever was opened before the failure here.
+    for (int& fd : wake_pipe_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
     return false;
   };
   if (config_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
@@ -245,13 +262,13 @@ void Server::wait() {
       if (auto conn = weak.lock()) conn->shutdown_read();
     }
   }
-  std::vector<std::thread> conn_threads;
+  std::vector<ConnThread> conn_threads;
   {
     std::lock_guard lk(conn_threads_mutex_);
     conn_threads.swap(conn_threads_);
   }
-  for (std::thread& t : conn_threads) {
-    if (t.joinable()) t.join();
+  for (ConnThread& ct : conn_threads) {
+    if (ct.thread.joinable()) ct.thread.join();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -291,11 +308,43 @@ void Server::listener_loop() {
       std::erase_if(conns_, [](const auto& w) { return w.expired(); });
       conns_.push_back(conn);
     }
+    reap_connection_threads();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread([this, conn = std::move(conn), done]() mutable {
+      connection_loop(std::move(conn));
+      done->store(true, std::memory_order_release);
+    });
     std::lock_guard lk(conn_threads_mutex_);
-    conn_threads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable {
-          connection_loop(std::move(conn));
-        });
+    conn_threads_.push_back(ConnThread{std::move(thread), std::move(done)});
+  }
+}
+
+void Server::reap_connection_threads() {
+  // A long-lived daemon serves many short connections; joining finished
+  // reader threads on each accept keeps conn_threads_ bounded by the number
+  // of *concurrent* connections instead of growing per connection ever
+  // made. The join happens outside the lock — it is immediate (the thread
+  // set `done` as its last action) but there is no reason to hold the
+  // mutex across a syscall.
+  std::vector<ConnThread> finished;
+  {
+    std::lock_guard lk(conn_threads_mutex_);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < conn_threads_.size(); ++i) {
+      ConnThread& ct = conn_threads_[i];
+      if (ct.done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(ct));
+      } else {
+        // Self-move-assigning a joinable std::thread terminates; only
+        // shift entries that actually have a gap to fill.
+        if (keep != i) conn_threads_[keep] = std::move(ct);
+        ++keep;
+      }
+    }
+    conn_threads_.resize(keep);
+  }
+  for (ConnThread& ct : finished) {
+    if (ct.thread.joinable()) ct.thread.join();
   }
 }
 
@@ -317,7 +366,9 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
     }
     dispatch_queueable(*conn, conn, std::move(*request));
   }
-  ::close(conn->fd);
+  // No close here: queued/in-flight Jobs may still hold the Connection and
+  // reply later. Dropping this thread's reference lets ~Connection close
+  // the fd once the last holder (often a worker) is done with it.
 }
 
 void Server::handle_control(Connection& conn, const Request& request) {

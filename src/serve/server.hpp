@@ -117,6 +117,11 @@ class Server {
   struct Connection {
     int fd = -1;
     std::mutex write_mutex;
+    /// The fd closes only when the last shared_ptr drops: queued and
+    /// in-flight Jobs hold references, so a worker's late reply can never
+    /// write to an fd number the kernel has already reused for another
+    /// client (the connection thread exiting first is the common case).
+    ~Connection();
     /// Serialized writes: worker replies and inline control replies
     /// interleave on the same stream.
     bool send(std::string_view payload);
@@ -131,7 +136,16 @@ class Server {
     std::chrono::steady_clock::time_point deadline;  ///< max() = none
   };
 
+  /// One reader thread per live connection plus a done flag the thread
+  /// sets on exit, so the listener can join finished threads instead of
+  /// accumulating one joinable entry per connection ever accepted.
+  struct ConnThread {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void listener_loop();
+  void reap_connection_threads();
   void connection_loop(std::shared_ptr<Connection> conn);
   void worker_loop();
   void handle_control(Connection& conn, const Request& request);
@@ -158,7 +172,7 @@ class Server {
   std::thread listener_;
   std::vector<std::thread> workers_;
   std::mutex conn_threads_mutex_;
-  std::vector<std::thread> conn_threads_;
+  std::vector<ConnThread> conn_threads_;
 
   std::chrono::steady_clock::time_point started_at_{};
 };

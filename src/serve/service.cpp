@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -187,6 +190,23 @@ void emit_campaign_stats(JsonWriter& json, const FaultCampaignStats& s) {
       .value(s.baseline_errors_per_10k_ops);
 }
 
+/// Two concurrent campaigns with identical parameters map to the same
+/// digest-keyed checkpoint directory; letting both write it at once could
+/// rename a torn tmp file into place as a valid-looking .ckpt. Serializing
+/// per digest also means the second request rides the first one's
+/// checkpoints instead of recomputing the same units. The registry keeps
+/// one mutex per distinct digest ever served — a few dozen bytes each,
+/// bounded by the number of distinct campaign configurations.
+std::mutex& campaign_digest_mutex(std::uint64_t digest) {
+  static std::mutex registry_mutex;
+  static std::map<std::uint64_t, std::unique_ptr<std::mutex>>* registry =
+      new std::map<std::uint64_t, std::unique_ptr<std::mutex>>();
+  std::lock_guard lk(registry_mutex);
+  auto& slot = (*registry)[digest];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
 char hex_digit(std::uint64_t v) {
   return "0123456789abcdef"[v & 0xF];
 }
@@ -357,8 +377,10 @@ HandlerResult Service::handle_campaign(const JsonValue& params,
   runtime::RunnerConfig runner_config = config_.runner;
   runner_config.stop = &cancel;
   std::optional<runtime::CheckpointStore> store;
+  std::unique_lock<std::mutex> digest_lock;  // held through campaign.run
   const std::uint64_t digest = campaign.config_digest(patterns);
   if (checkpoint && !config_.checkpoint_root.empty()) {
+    digest_lock = std::unique_lock(campaign_digest_mutex(digest));
     // Resume-by-default: the store is keyed by the campaign digest, so a
     // daemon restarted after SIGKILL finishes the remaining units and
     // returns bytes identical to an uninterrupted run (docs/SERVING.md).

@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 
 #include "src/runtime/run_error.hpp"
 #include "src/runtime/serial.hpp"
@@ -127,6 +129,34 @@ TEST_F(CheckpointStoreTest, PersistLeavesNoTempFiles) {
   for (const auto& entry : fs::directory_iterator(dir_)) {
     EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
   }
+}
+
+TEST_F(CheckpointStoreTest, ConcurrentStoresOnSameDirNeverTearFiles) {
+  // Two identically-configured campaigns can race on the same digest-keyed
+  // directory. Each writer's tmp file is unique, so neither can truncate
+  // the other mid-write and rename a torn file into place: every .ckpt
+  // that lands must validate (magic + CRC) and hold one writer's payload
+  // intact.
+  const std::string a(64 * 1024, 'a');
+  const std::string b(64 * 1024, 'b');
+  CheckpointStore first(dir_, 0xD16);
+  CheckpointStore second(dir_, 0xD16);
+  std::thread ta([&] {
+    for (int i = 0; i < 20; ++i) first.persist(1, a);
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 20; ++i) second.persist(1, b);
+  });
+  ta.join();
+  tb.join();
+
+  CheckpointStore reader(dir_, 0xD16);
+  const CheckpointScan scan = reader.load();
+  EXPECT_EQ(scan.discarded, 0u) << "a torn or orphaned file survived";
+  ASSERT_EQ(scan.loaded, 1u);
+  const std::optional<std::string> got = reader.restore(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(*got == a || *got == b) << "interleaved payloads";
 }
 
 TEST_F(CheckpointStoreTest, ClearRemovesUnitFiles) {

@@ -212,6 +212,67 @@ TEST_F(ServeServerTest, QueryCacheMissThenHit) {
   server.wait();
 }
 
+TEST_F(ServeServerTest, EarlyDisconnectDoesNotCorruptOtherConnections) {
+  TempDir dir("discon");
+  Server server(base_config(dir));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // A client queues slow work and disconnects before the reply. The
+  // worker's late send must hit the ghost's still-reserved fd (or a dead
+  // one) — never an fd number the kernel re-issued to a newer connection,
+  // which would splice the ghost's response into that client's stream.
+  {
+    Client ghost(server.config().socket_path);
+    ASSERT_TRUE(ghost.connected());
+    ASSERT_TRUE(ghost.send(
+        R"({"id": 777, "method": "work", "params": {"spin_us": 300000}})"));
+  }  // ~Client closes the socket immediately
+
+  Client other(server.config().socket_path);
+  ASSERT_TRUE(other.connected());
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t id = 1000 + i;
+    const auto reply = other.call("{\"id\": " + std::to_string(id) +
+                                  ", \"method\": \"health\"}");
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->i64_or("id", -1), id)
+        << "cross-connection frame leaked into this stream";
+  }
+
+  // The orphaned job finishes (its reply is dropped) without killing the
+  // server — no SIGPIPE, no write into a reused fd.
+  ASSERT_TRUE(eventually([&] { return server.in_flight() == 0; }));
+  const auto h = other.call(R"({"id": 9999, "method": "health"})");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(h->bool_or("ok", false));
+
+  server.drain();
+  server.wait();
+}
+
+TEST_F(ServeServerTest, FailedStartLeaksNoFileDescriptors) {
+  TempDir dir("startfail");
+  ServerConfig config = base_config(dir);
+  // bind() fails: the parent directory does not exist.
+  config.socket_path = (dir.path() / "missing" / "agingd.sock").string();
+  const auto count_fds = [] {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& e :
+         fs::directory_iterator("/proc/self/fd")) {
+      ++n;
+    }
+    return n;
+  };
+  const std::size_t before = count_fds();
+  Server server(config);
+  std::string error;
+  EXPECT_FALSE(server.start(&error));
+  EXPECT_NE(error, "");
+  EXPECT_EQ(count_fds(), before)
+      << "start() failure must close the wake pipe and listen socket";
+}
+
 TEST_F(ServeServerTest, OverloadRejectsWithRetryAfterWhileHealthAnswers) {
   TempDir dir("overload");
   ServerConfig config = base_config(dir);
