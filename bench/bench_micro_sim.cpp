@@ -47,6 +47,7 @@ struct KernelNumbers {
   double steps_per_sec = 0.0;
   double evaluated_fraction = 1.0;  // mean gates_evaluated / gates_total
   std::uint64_t checksum = 0;       // xor of products: cross-kernel check
+  double replay_fraction = 0.0;     // batch kernel only: audited lanes
 };
 
 KernelNumbers run_kernel(const MultiplierNetlist& m, TimingSim::Mode mode,
@@ -70,6 +71,45 @@ KernelNumbers run_kernel(const MultiplierNetlist& m, TimingSim::Mode mode,
       total > 0 ? static_cast<double>(evaluated) / static_cast<double>(total)
                 : 1.0;
   out.checksum = checksum;
+  return out;
+}
+
+/// 64-lane batch kernel over the same patterns, timed word-by-word with the
+/// packing cost included (that is what any caller pays).
+KernelNumbers run_batch(const MultiplierNetlist& m,
+                        std::span<const OperandPattern> patterns) {
+  BatchTimingSim sim(m.netlist, tech());
+  const std::size_t ops = patterns.size();
+  std::vector<std::uint64_t> words(m.netlist.input_nets().size());
+  std::uint64_t checksum = 0;
+  const double t0 = now_ms();
+  for (std::size_t chunk = 0; chunk < ops;
+       chunk += static_cast<std::size_t>(kBatchLanes)) {
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kBatchLanes, ops - chunk));
+    std::fill(words.begin(), words.end(), 0);
+    for (int l = 0; l < lanes; ++l) {
+      const OperandPattern& p = patterns[chunk + static_cast<std::size_t>(l)];
+      sim.load_bus_lane(words, p.a, m.width, m.a_first_input, l);
+      sim.load_bus_lane(words, p.b, m.width, m.b_first_input, l);
+    }
+    sim.step_word(words, lanes);
+    for (int l = 0; l < lanes; ++l) {
+      checksum ^= sim.output_bits(l) + chunk + static_cast<std::size_t>(l);
+    }
+  }
+  const double elapsed_ms = now_ms() - t0;
+  const BatchStats& stats = sim.stats();
+  KernelNumbers out;
+  out.steps_per_sec =
+      elapsed_ms > 0.0 ? 1000.0 * static_cast<double>(ops) / elapsed_ms : 0.0;
+  const std::uint64_t dense_equiv = stats.words * m.netlist.num_gates();
+  out.evaluated_fraction =
+      dense_equiv > 0 ? static_cast<double>(stats.gates_evaluated) /
+                            static_cast<double>(dense_equiv)
+                      : 1.0;
+  out.checksum = checksum;
+  out.replay_fraction = stats.replay_fraction();
   return out;
 }
 
@@ -129,6 +169,7 @@ static int bench_body() {
           run_kernel(m, TimingSim::Mode::kDense, stream.patterns);
       const KernelNumbers sparse =
           run_kernel(m, TimingSim::Mode::kSparse, stream.patterns);
+      const KernelNumbers batch = run_batch(m, stream.patterns);
       json.begin_object();
       json.key("multiplier").value(std::string(arch_name(arch)) + "16");
       json.key("workload").value(stream.label);
@@ -136,17 +177,67 @@ static int bench_body() {
           static_cast<std::uint64_t>(m.netlist.num_gates()));
       json.key("dense_steps_per_sec").value(dense.steps_per_sec);
       json.key("sparse_steps_per_sec").value(sparse.steps_per_sec);
+      json.key("batch_steps_per_sec").value(batch.steps_per_sec);
       json.key("sparse_speedup")
           .value(dense.steps_per_sec > 0.0
                      ? sparse.steps_per_sec / dense.steps_per_sec
                      : 0.0);
+      json.key("batch_speedup_vs_sparse")
+          .value(sparse.steps_per_sec > 0.0
+                     ? batch.steps_per_sec / sparse.steps_per_sec
+                     : 0.0);
       json.key("sparse_evaluated_gate_fraction")
           .value(sparse.evaluated_fraction);
-      json.key("products_identical").value(dense.checksum == sparse.checksum);
+      json.key("batch_evaluated_word_fraction")
+          .value(batch.evaluated_fraction);
+      json.key("batch_replay_fraction").value(batch.replay_fraction);
+      json.key("products_identical")
+          .value(dense.checksum == sparse.checksum &&
+                 sparse.checksum == batch.checksum);
       json.end_object();
     }
   }
   json.end_array();
+  json.key("batch_lane_backend").value(BatchTimingSim::lane_backend());
+
+  // --- Batch kernel thread scaling -------------------------------------
+  // Independent batch traces fanned over explicit pools (the shape of a
+  // fault campaign's trial fan-out); serial-result identity is the same
+  // determinism contract the sweep scaling section asserts.
+  {
+    const MultiplierNetlist m = build_column_bypass_multiplier(16);
+    const std::size_t trace_ops = std::min<std::size_t>(ops, 2000);
+    constexpr std::size_t kTraces = 8;
+    std::vector<std::vector<OpTrace>> serial_result;
+    double serial_ms = 0.0;
+    json.key("batch_thread_scaling").begin_array();
+    for (const int threads : {1, 2, 4}) {
+      exec::ThreadPool pool(threads);
+      std::vector<std::vector<OpTrace>> result;
+      const double ms = time_best_ms(2, [&] {
+        result = exec::parallel_for_indexed(pool, kTraces, [&](std::size_t t) {
+          return compute_op_trace(
+              m, tech(), workload(16, trace_ops, 0xB000 + t),
+              TraceOptions{.kernel = SimKernel::kBatch});
+        });
+      });
+      if (threads == 1) {
+        serial_result = result;
+        serial_ms = ms;
+      }
+      json.begin_object();
+      json.key("threads").value(threads);
+      json.key("traces_ms").value(ms);
+      json.key("patterns_per_sec")
+          .value(ms > 0.0 ? 1000.0 *
+                                static_cast<double>(kTraces * trace_ops) / ms
+                          : 0.0);
+      json.key("speedup_vs_serial").value(ms > 0.0 ? serial_ms / ms : 0.0);
+      json.key("identical_to_serial").value(result == serial_result);
+      json.end_object();
+    }
+    json.end_array();
+  }
 
   // --- Policy replay ---------------------------------------------------
   {

@@ -97,4 +97,36 @@ std::optional<std::string> str_var(const char* name) {
   return std::string(raw);
 }
 
+std::optional<std::size_t> choice_var(const char* name,
+                                      std::span<const char* const> choices) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  const std::string_view value(raw);
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (value == choices[i]) return i;
+  }
+  std::string what = "ignored (want one of:";
+  for (const char* c : choices) {
+    what += ' ';
+    what += c;
+  }
+  what += ')';
+  warn_once(name, raw, what.c_str());
+  return std::nullopt;
+}
+
+double double_or(const char* name, double fallback, double min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const auto parsed = parse_double(raw);
+  if (!parsed.has_value() || *parsed < min_value) {
+    char what[96];
+    std::snprintf(what, sizeof what, "ignored (want finite number >= %g)",
+                  min_value);
+    warn_once(name, raw, what);
+    return fallback;
+  }
+  return *parsed;
+}
+
 }  // namespace agingsim::env

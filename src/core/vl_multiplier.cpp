@@ -1,9 +1,11 @@
 #include "src/core/vl_multiplier.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 #include <string>
 
+#include "src/core/env.hpp"
 #include "src/sim/sta.hpp"
 #include "src/workload/rng.hpp"
 
@@ -25,13 +27,104 @@ std::string to_hex(std::uint64_t v) {
   return out;
 }
 
+// Without injected faults a mismatch is a netlist or simulator bug; carry
+// everything needed to reproduce it in the message. Shared by the scalar
+// and batch trace paths so the oracle's contract is kernel-independent.
+[[noreturn]] void throw_product_mismatch(std::size_t index, std::uint64_t a,
+                                         std::uint64_t b, std::uint64_t golden,
+                                         std::uint64_t product) {
+  throw std::logic_error(
+      "compute_op_trace: netlist product mismatch at pattern index " +
+      std::to_string(index) + ": " + std::to_string(a) + " * " +
+      std::to_string(b) + ": expected " + std::to_string(golden) + " (0x" +
+      to_hex(golden) + "), netlist says " + std::to_string(product) + " (0x" +
+      to_hex(product) + ")");
+}
+
+/// Fills one OpTrace from per-op observables and the previous op's state.
+OpTrace make_op(std::uint64_t a, std::uint64_t b, std::uint64_t product,
+                int width, double delay_ps, double switched_cap_ff,
+                bool fault_active, bool first, std::uint64_t prev_a,
+                std::uint64_t prev_b, std::uint64_t prev_p) {
+  OpTrace op;
+  op.a = a;
+  op.b = b;
+  op.product = product;
+  op.golden = reference_multiply(a, b, width);
+  op.correct = (op.product == op.golden);
+  op.fault_active = fault_active;
+  op.delay_ps = delay_ps;
+  op.switched_cap_ff = switched_cap_ff;
+  op.in_toggles =
+      first ? 0 : std::popcount(a ^ prev_a) + std::popcount(b ^ prev_b);
+  op.out_toggles = first ? 0 : std::popcount(product ^ prev_p);
+  return op;
+}
+
+std::vector<OpTrace> compute_op_trace_batch(
+    const MultiplierNetlist& mult, const TechLibrary& tech,
+    std::span<const OperandPattern> patterns, const TraceOptions& options) {
+  BatchTimingSim sim(mult.netlist, tech, options.gate_delay_scale);
+  if (options.faults != nullptr) sim.set_fault_overlay(options.faults);
+  const double guard =
+      options.batch_guard_ps >= 0.0
+          ? options.batch_guard_ps
+          : env::double_or("AGINGSIM_BATCH_GUARD_PS", 0.0, 0.0);
+  sim.set_timing_audit(options.timing_audit_thresholds_ps, guard);
+
+  std::vector<OpTrace> trace;
+  trace.reserve(patterns.size());
+  std::vector<std::uint64_t> words(mult.netlist.input_nets().size());
+  std::uint64_t prev_a = 0, prev_b = 0, prev_p = 0;
+  bool first = true;
+  for (std::size_t chunk = 0; chunk < patterns.size();
+       chunk += static_cast<std::size_t>(kBatchLanes)) {
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kBatchLanes, patterns.size() - chunk));
+    std::fill(words.begin(), words.end(), 0);
+    for (int l = 0; l < lanes; ++l) {
+      const OperandPattern& pat = patterns[chunk + static_cast<std::size_t>(l)];
+      sim.load_bus_lane(words, pat.a, mult.width, mult.a_first_input, l);
+      sim.load_bus_lane(words, pat.b, mult.width, mult.b_first_input, l);
+    }
+    const std::int64_t base = sim.steps();
+    const std::span<const StepResult> results = sim.step_word(words, lanes);
+    for (int l = 0; l < lanes; ++l) {
+      const OperandPattern& pat = patterns[chunk + static_cast<std::size_t>(l)];
+      const bool fault_active =
+          options.faults != nullptr && options.faults->active_at(base + l);
+      const OpTrace op = make_op(
+          pat.a, pat.b, sim.output_bits(l), mult.width,
+          results[static_cast<std::size_t>(l)].output_settle_ps,
+          results[static_cast<std::size_t>(l)].switched_cap_ff, fault_active,
+          first, prev_a, prev_b, prev_p);
+      if (!op.correct && options.faults == nullptr) {
+        throw_product_mismatch(trace.size(), pat.a, pat.b, op.golden,
+                               op.product);
+      }
+      trace.push_back(op);
+      prev_a = pat.a;
+      prev_b = pat.b;
+      prev_p = op.product;
+      first = false;
+    }
+  }
+  if (options.batch_stats != nullptr) *options.batch_stats = sim.stats();
+  return trace;
+}
+
 }  // namespace
 
 std::vector<OpTrace> compute_op_trace(const MultiplierNetlist& mult,
                                       const TechLibrary& tech,
                                       std::span<const OperandPattern> patterns,
                                       const TraceOptions& options) {
+  const SimKernel kernel = resolve_kernel(options.kernel);
+  if (kernel == SimKernel::kBatch) {
+    return compute_op_trace_batch(mult, tech, patterns, options);
+  }
   MultiplierSim sim(mult, tech, options.gate_delay_scale);
+  if (kernel == SimKernel::kDense) sim.set_mode(TimingSim::Mode::kDense);
   if (options.faults != nullptr) sim.set_fault_overlay(options.faults);
   std::vector<OpTrace> trace;
   trace.reserve(patterns.size());
@@ -40,31 +133,15 @@ std::vector<OpTrace> compute_op_trace(const MultiplierNetlist& mult,
   for (const OperandPattern& pat : patterns) {
     const std::int64_t cycle = sim.timing_sim().steps();
     const StepResult step = sim.apply(pat.a, pat.b);
-    OpTrace op;
-    op.a = pat.a;
-    op.b = pat.b;
-    op.product = sim.product();
-    op.golden = reference_multiply(pat.a, pat.b, mult.width);
-    op.correct = (op.product == op.golden);
-    op.fault_active =
+    const bool fault_active =
         options.faults != nullptr && options.faults->active_at(cycle);
-    op.delay_ps = step.output_settle_ps;
-    op.switched_cap_ff = step.switched_cap_ff;
-    op.in_toggles =
-        first ? 0
-              : std::popcount(pat.a ^ prev_a) + std::popcount(pat.b ^ prev_b);
-    op.out_toggles = first ? 0 : std::popcount(op.product ^ prev_p);
-
+    const OpTrace op =
+        make_op(pat.a, pat.b, sim.product(), mult.width, step.output_settle_ps,
+                step.switched_cap_ff, fault_active, first, prev_a, prev_b,
+                prev_p);
     if (!op.correct && options.faults == nullptr) {
-      // Without injected faults a mismatch is a netlist or simulator bug;
-      // carry everything needed to reproduce it in the message.
-      throw std::logic_error(
-          "compute_op_trace: netlist product mismatch at pattern index " +
-          std::to_string(trace.size()) + ": " + std::to_string(pat.a) +
-          " * " + std::to_string(pat.b) + ": expected " +
-          std::to_string(op.golden) + " (0x" + to_hex(op.golden) +
-          "), netlist says " + std::to_string(op.product) + " (0x" +
-          to_hex(op.product) + ")");
+      throw_product_mismatch(trace.size(), pat.a, pat.b, op.golden,
+                             op.product);
     }
     trace.push_back(op);
     prev_a = pat.a;

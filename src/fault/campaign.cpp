@@ -178,7 +178,9 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
   const auto run_baseline = [&] {
     obs::TraceSpan span("campaign.baseline");
     const auto baseline_trace =
-        compute_op_trace(*mult_, *tech_, patterns, gate_delay_scale);
+        compute_op_trace(*mult_, *tech_, patterns,
+                         TraceOptions{.gate_delay_scale = gate_delay_scale,
+                                      .kernel = options.kernel});
     VariableLatencySystem system(*mult_, *tech_, system_);
     auto stats = system.run(baseline_trace, mean_dvth_v);
     campaign_metrics().baselines.add();
@@ -189,7 +191,8 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
     const auto faulty_trace = compute_op_trace(
         *mult_, *tech_, patterns,
         TraceOptions{.gate_delay_scale = gate_delay_scale,
-                     .faults = &overlays[t]});
+                     .faults = &overlays[t],
+                     .kernel = options.kernel});
     VariableLatencySystem trial_system(*mult_, *tech_, system_);
     auto stats = trial_system.run(faulty_trace, mean_dvth_v);
     campaign_metrics().trials.add();

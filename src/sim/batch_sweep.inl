@@ -1,0 +1,698 @@
+// One 64-lane word sweep — the body of the batch kernel. This file is a
+// textual include compiled twice (see batch_sweep.hpp): the including TU
+// must have included batch_sweep.hpp, density_model.hpp, <algorithm>,
+// <cstring> and <limits>, opened namespace agingsim::detail, and defined
+// AGINGSIM_SWEEP_FN to the function name to emit.
+//
+// Bit-plane encoding: lane l of plane0/plane1 carries the two bits of the
+// Logic code (kZero=00, kOne=01, kX=10, kZ=11; plane0 = low bit). So:
+//   known(v) = ~plane1,  one(v) = plane0 & ~plane1,  zero(v) = ~plane0 & ~plane1.
+//
+// EXACTNESS CONTRACT: every floating-point statement below replicates the
+// operation order of the scalar kernel (TimingSim::evaluate_gate /
+// TimingSim::step) per lane. The selection arithmetic used for
+// vectorization (m*a + (1-m)*b with m in {0.0, 1.0}, and c ? a : b blends)
+// is exact — the selected side is always the scalar kernel's value — and
+// the build disables FP contraction, so no statement here can round
+// differently from its scalar counterpart. Change this file and
+// timing_sim.cpp together or not at all; tests/batch_kernel_test.cpp
+// asserts exact == lane-by-lane.
+//
+// SHAPE CONTRACT (this is where the throughput comes from): every per-lane
+// loop below runs a fixed kBatchLanes trip count over contiguous arrays and
+// contains no per-lane bit extraction and no data-dependent branches — bit
+// masks are pre-expanded to 0.0/1.0 lane arrays through a byte table — so
+// the compiler turns each one into straight-line SIMD (8-wide floats /
+// 4-wide doubles under -mavx2). Lanes past ctx.lanes compute garbage that
+// is provably never read: bit masks are lane_mask-gated, and only lanes
+// < ctx.lanes are written back to StepResult.
+
+namespace {
+
+/// Byte -> eight 0.0/1.0 lanes, float and double flavors. One table lookup
+/// + one small copy per mask byte beats 64 per-lane `(m >> l) & 1`
+/// extractions and, more importantly, keeps the arithmetic loops free of
+/// integer work so they vectorize.
+struct ByteLanesF {
+  alignas(32) float v[256][8];
+};
+struct ByteLanesD {
+  alignas(32) double v[256][8];
+};
+
+constexpr ByteLanesF make_byte_lanes_f() {
+  ByteLanesF t{};
+  for (int b = 0; b < 256; ++b) {
+    for (int i = 0; i < 8; ++i) t.v[b][i] = ((b >> i) & 1) != 0 ? 1.0f : 0.0f;
+  }
+  return t;
+}
+constexpr ByteLanesD make_byte_lanes_d() {
+  ByteLanesD t{};
+  for (int b = 0; b < 256; ++b) {
+    for (int i = 0; i < 8; ++i) t.v[b][i] = ((b >> i) & 1) != 0 ? 1.0 : 0.0;
+  }
+  return t;
+}
+
+constexpr ByteLanesF kByteLanesF = make_byte_lanes_f();
+constexpr ByteLanesD kByteLanesD = make_byte_lanes_d();
+
+inline void mask_lanes_f(std::uint64_t m, float* out) {
+  for (int b = 0; b < 8; ++b) {
+    std::memcpy(out + 8 * b, kByteLanesF.v[(m >> (8 * b)) & 0xFFu],
+                8 * sizeof(float));
+  }
+}
+
+inline void mask_lanes_d(std::uint64_t m, double* out) {
+  for (int b = 0; b < 8; ++b) {
+    std::memcpy(out + 8 * b, kByteLanesD.v[(m >> (8 * b)) & 0xFFu],
+                8 * sizeof(double));
+  }
+}
+
+/// Lane mask of v[l] != 0.0f (same ordered-quiet semantics as the C++
+/// operator). Bit packing has no portable SIMD idiom, so the AVX2 build
+/// uses movemask directly; the result is identical either way.
+inline std::uint64_t nonzero_lanes_f(const float* v) {
+#if defined(__AVX2__)
+  std::uint64_t m = 0;
+  const __m256 zero = _mm256_setzero_ps();
+  for (int b = 0; b < 8; ++b) {
+    const __m256 x = _mm256_loadu_ps(v + 8 * b);
+    const unsigned bits = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(x, zero, _CMP_NEQ_OQ)));
+    m |= static_cast<std::uint64_t>(bits) << (8 * b);
+  }
+  return m;
+#else
+  std::uint64_t m = 0;
+  for (int l = 0; l < kBatchLanes; ++l) {
+    m |= static_cast<std::uint64_t>(v[l] != 0.0f) << l;
+  }
+  return m;
+#endif
+}
+
+/// Per-lane pass weight of one input, matching the scalar pass_weight():
+/// controlling value -> (changed ? kBlockedPass : kStableBlock), otherwise
+/// known -> 1.0, unknown -> 0.5. All selects are exact 0/1 blends.
+inline void lane_pass_weights(std::uint64_t is_ctrl, std::uint64_t ch,
+                              std::uint64_t known, float* w) {
+  alignas(32) float fc[kBatchLanes], fch[kBatchLanes], fk[kBatchLanes];
+  mask_lanes_f(is_ctrl, fc);
+  mask_lanes_f(ch, fch);
+  mask_lanes_f(known, fk);
+  for (int l = 0; l < kBatchLanes; ++l) {
+    const float ctrl_w = fch[l] * density_model::kBlockedPass +
+                         (1.0f - fch[l]) * density_model::kStableBlock;
+    const float open_w = fk[l] * 1.0f + (1.0f - fk[l]) * 0.5f;
+    w[l] = fc[l] * ctrl_w + (1.0f - fc[l]) * open_w;
+  }
+}
+
+}  // namespace
+
+void AGINGSIM_SWEEP_FN(SweepContext& ctx) {
+  const Netlist& nl = *ctx.netlist;
+  const int lanes = ctx.lanes;
+  const std::uint64_t lane_mask = ctx.lane_mask;
+  StepResult* res = ctx.results;
+
+  static constexpr float kZeroDens[kBatchLanes] = {};
+
+  // Word-local accumulator lanes. StepResult is an array of structs, so
+  // accumulating into it directly strides every lane access; these dense
+  // lanes vectorize and are written back once at the end. The per-lane
+  // accumulation order is untouched: inputs first, then gates ascending —
+  // exactly the scalar kernel's order. Toggle counts accumulate in float
+  // (one gate adds 0.0 or 1.0; totals stay far below 2^24, so every
+  // increment is exact).
+  alignas(32) double cap_acc[kBatchLanes];
+  alignas(32) double settle_acc[kBatchLanes];
+  alignas(32) float tog_cnt[kBatchLanes];
+  for (int l = 0; l < kBatchLanes; ++l) {
+    cap_acc[l] = l < lanes ? res[l].switched_cap_ff : 0.0;
+    settle_acc[l] = l < lanes ? res[l].settle_ps : 0.0;
+    tog_cnt[l] = 0.0f;
+  }
+  std::uint64_t gates_done = 0;
+
+  // ---- primary inputs (all transitions land at t = 0) ----
+  const auto input_nets = nl.input_nets();
+  for (std::size_t i = 0; i < input_nets.size(); ++i) {
+    const NetId net = input_nets[i];
+    const std::uint64_t p0 = ctx.input_bits[i] & lane_mask;
+    const std::uint64_t lv = static_cast<std::uint64_t>(ctx.last_value[net]);
+    // Lane l changed iff it differs from lane l-1 (lane -1 = carried value).
+    const std::uint64_t prev0 = (p0 << 1) | (lv & 1u);
+    const std::uint64_t prev1 = (lv >> 1) & 1u;  // input plane1 is all-zero
+    const std::uint64_t ch = ((p0 ^ prev0) | prev1) & lane_mask;
+    if (ch == 0) continue;  // stable across the whole word: not stamped
+    ctx.plane0[net] = p0;
+    ctx.plane1[net] = 0;
+    ctx.changed[net] = ch;
+    ctx.active[net] = ch;
+    ctx.word_epoch[net] = ctx.epoch;
+    float* const dens = ctx.density + std::size_t(net) * kBatchLanes;
+    double* const arr = ctx.arrival + std::size_t(net) * kBatchLanes;
+    // A changed input seeds one transition of density and arrives at t = 0.
+    mask_lanes_f(ch, dens);
+    std::memset(arr, 0, sizeof(double) * kBatchLanes);
+    // Input bits are register-driven known values, so every changed lane
+    // charges the input cap (the scalar is_known(nv) check always holds).
+    for (int l = 0; l < kBatchLanes; ++l) {
+      cap_acc[l] += dens[l] * density_model::kInputCapFf;
+    }
+    ctx.last_value[net] =
+        ((p0 >> (lanes - 1)) & 1u) != 0 ? Logic::kOne : Logic::kZero;
+  }
+
+  // ---- gates, ascending id (topological order == the scalar kernels'
+  // floating-point accumulation order) ----
+  const auto* tcur = ctx.transient_masks.data();
+  const auto* tend = tcur + ctx.transient_masks.size();
+  const auto* fcur = ctx.forced_gates.data();
+  const auto* fend = fcur + ctx.forced_gates.size();
+  const GateId num_gates = static_cast<GateId>(nl.num_gates());
+
+  for (GateId g = 0; g < num_gates; ++g) {
+    const Gate& gate = nl.gate(g);
+    const auto ins = nl.gate_inputs(g);
+    const std::size_t nin = ins.size();
+
+    // Materialize the input lane words (epoch-gated: an unstamped net is a
+    // broadcast of its carried value with zero change/density).
+    std::uint64_t ip0[3], ip1[3], ich[3];
+    const float* idens[3];
+    const double* iarr[3];
+    std::uint64_t union_active = 0;
+    for (std::size_t k = 0; k < nin; ++k) {
+      const NetId n = ins[k];
+      if (ctx.word_epoch[n] == ctx.epoch) {
+        ip0[k] = ctx.plane0[n];
+        ip1[k] = ctx.plane1[n];
+        ich[k] = ctx.changed[n];
+        union_active |= ctx.active[n];
+        idens[k] = ctx.density + std::size_t(n) * kBatchLanes;
+      } else {
+        const std::uint64_t c = static_cast<std::uint64_t>(ctx.last_value[n]);
+        ip0[k] = (c & 1u) != 0 ? lane_mask : 0;
+        ip1[k] = (c >> 1) != 0 ? lane_mask : 0;
+        ich[k] = 0;
+        idens[k] = kZeroDens;
+      }
+      iarr[k] = ctx.arrival + std::size_t(n) * kBatchLanes;
+    }
+
+    std::uint64_t tmask = 0;
+    while (tcur != tend && tcur->first < g) ++tcur;
+    if (tcur != tend && tcur->first == g) tmask = tcur->second;
+    bool forced = false;
+    while (fcur != fend && *fcur < g) ++fcur;
+    if (fcur != fend && *fcur == g) forced = true;
+
+    // Word-granular skip: no lane of any fanin is active, no strike lands
+    // here, nothing to re-establish -> the gate is inert in every lane.
+    if (!ctx.force_all && union_active == 0 && tmask == 0 && !forced) {
+      continue;
+    }
+    ++gates_done;
+
+    // -- value planes (exact eval_cell over all lanes) --
+    std::uint64_t o0 = 0, o1 = 0;
+    switch (gate.kind) {
+      case CellKind::kBuf:  // known passes; X/Z -> X
+        o0 = ip0[0] & ~ip1[0];
+        o1 = ip1[0];
+        break;
+      case CellKind::kInv:
+        o0 = ~ip0[0] & ~ip1[0];
+        o1 = ip1[0];
+        break;
+      case CellKind::kAnd2: {
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) | (~ip0[1] & ~ip1[1]);
+        const std::uint64_t one = (ip0[0] & ~ip1[0]) & (ip0[1] & ~ip1[1]);
+        o0 = one;
+        o1 = ~(z | one);
+        break;
+      }
+      case CellKind::kNand2: {
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) | (~ip0[1] & ~ip1[1]);
+        const std::uint64_t one = (ip0[0] & ~ip1[0]) & (ip0[1] & ~ip1[1]);
+        o0 = z;
+        o1 = ~(z | one);
+        break;
+      }
+      case CellKind::kOr2: {
+        const std::uint64_t one = (ip0[0] & ~ip1[0]) | (ip0[1] & ~ip1[1]);
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) & (~ip0[1] & ~ip1[1]);
+        o0 = one;
+        o1 = ~(one | z);
+        break;
+      }
+      case CellKind::kNor2: {
+        const std::uint64_t one = (ip0[0] & ~ip1[0]) | (ip0[1] & ~ip1[1]);
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) & (~ip0[1] & ~ip1[1]);
+        o0 = z;
+        o1 = ~(one | z);
+        break;
+      }
+      case CellKind::kXor2: {
+        const std::uint64_t kk = ~ip1[0] & ~ip1[1];
+        o0 = kk & (ip0[0] ^ ip0[1]);
+        o1 = ~kk;
+        break;
+      }
+      case CellKind::kXnor2: {
+        const std::uint64_t kk = ~ip1[0] & ~ip1[1];
+        o0 = kk & ~(ip0[0] ^ ip0[1]);
+        o1 = ~kk;
+        break;
+      }
+      case CellKind::kAnd3: {
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) | (~ip0[1] & ~ip1[1]) |
+                                (~ip0[2] & ~ip1[2]);
+        const std::uint64_t one =
+            (ip0[0] & ~ip1[0]) & (ip0[1] & ~ip1[1]) & (ip0[2] & ~ip1[2]);
+        o0 = one;
+        o1 = ~(z | one);
+        break;
+      }
+      case CellKind::kOr3: {
+        const std::uint64_t one =
+            (ip0[0] & ~ip1[0]) | (ip0[1] & ~ip1[1]) | (ip0[2] & ~ip1[2]);
+        const std::uint64_t z = (~ip0[0] & ~ip1[0]) & (~ip0[1] & ~ip1[1]) &
+                                (~ip0[2] & ~ip1[2]);
+        o0 = one;
+        o1 = ~(one | z);
+        break;
+      }
+      case CellKind::kMux2: {
+        const std::uint64_t sz = ~ip0[2] & ~ip1[2];
+        const std::uint64_t so = ip0[2] & ~ip1[2];
+        const std::uint64_t su = ~(sz | so);
+        const std::uint64_t b00 = ip0[0] & ~ip1[0];  // buf(d0)
+        const std::uint64_t b10 = ip0[1] & ~ip1[1];  // buf(d1)
+        // Unknown select resolves only when d0 is known and equals d1.
+        const std::uint64_t agree =
+            ~ip1[0] & ~((ip0[0] ^ ip0[1]) | (ip1[0] ^ ip1[1]));
+        o0 = (sz & b00) | (so & b10) | (su & agree & ip0[0]);
+        o1 = (sz & ip1[0]) | (so & ip1[1]) | (su & ~agree);
+        break;
+      }
+      case CellKind::kTbuf: {
+        // Keeper chain is inherently serial across lanes; tri-state counts
+        // are small, so a 64-step scalar loop is fine.
+        Logic cur = ctx.last_value[gate.out];
+        for (int l = 0; l < lanes; ++l) {
+          const auto dcode = static_cast<Logic>(((ip0[0] >> l) & 1u) |
+                                                (((ip1[0] >> l) & 1u) << 1));
+          const auto en = static_cast<Logic>(((ip0[1] >> l) & 1u) |
+                                             (((ip1[1] >> l) & 1u) << 1));
+          Logic v;
+          if (en == Logic::kOne) {
+            v = is_known(dcode) ? dcode : Logic::kX;
+          } else if (en == Logic::kZero) {
+            v = cur;  // bus keeper (Z stays Z until driven)
+          } else {
+            v = Logic::kX;
+          }
+          o0 |= (static_cast<std::uint64_t>(v) & 1u) << l;
+          o1 |= ((static_cast<std::uint64_t>(v) >> 1) & 1u) << l;
+          cur = v;
+        }
+        break;
+      }
+      case CellKind::kTie0:
+        break;  // constant 00
+      case CellKind::kTie1:
+        o0 = lane_mask;
+        break;
+      case CellKind::kCount:
+        break;
+    }
+
+    if (ctx.overlay != nullptr) {
+      // Stuck-at forces the output unconditionally; a transient then
+      // inverts whatever would have settled (X stays X) — same order as
+      // the scalar kernel.
+      const Logic stuck = ctx.overlay->stuck_value(g);
+      if (stuck != Logic::kX) {
+        o0 = stuck == Logic::kOne ? ~std::uint64_t{0} : 0;
+        o1 = 0;
+      }
+    }
+    if (tmask != 0) {
+      const std::uint64_t flipped0 = ~o0 & ~o1;  // logic_not: Z also -> X
+      o0 = (o0 & ~tmask) | (flipped0 & tmask);
+    }
+    o0 &= lane_mask;
+    o1 &= lane_mask;
+
+    const NetId out = gate.out;
+    const std::uint64_t lv = static_cast<std::uint64_t>(ctx.last_value[out]);
+    const std::uint64_t prev0 = (o0 << 1) | (lv & 1u);
+    const std::uint64_t prev1 = (o1 << 1) | ((lv >> 1) & 1u);
+    const std::uint64_t ch = ((o0 ^ prev0) | (o1 ^ prev1)) & lane_mask;
+    // A toggle is a known -> known value change.
+    const std::uint64_t tog = ch & ~o1 & ~prev1;
+
+    // -- transition density lanes (same per-lane op order as the scalar
+    // formulas in TimingSim::evaluate_gate), computed in place in the
+    // output net's lane array. Writing before the act != 0 decision is
+    // safe: word_epoch is bumped only by the stamp below, so an unstamped
+    // net's scribbled lanes are unreachable. --
+    float* const __restrict od = ctx.density + std::size_t(out) * kBatchLanes;
+    switch (gate.kind) {
+      case CellKind::kBuf:
+      case CellKind::kInv:
+        std::memcpy(od, idens[0], sizeof(float) * kBatchLanes);
+        break;
+      case CellKind::kXor2:
+      case CellKind::kXnor2: {
+        const float* const d0 = idens[0];
+        const float* const d1 = idens[1];
+        for (int l = 0; l < kBatchLanes; ++l) od[l] = d0[l] + d1[l];
+        break;
+      }
+      case CellKind::kAnd2:
+      case CellKind::kNand2:
+      case CellKind::kOr2:
+      case CellKind::kNor2: {
+        const bool ctrl_one = gate.kind == CellKind::kOr2 ||
+                              gate.kind == CellKind::kNor2;
+        std::uint64_t isc[2];
+        for (int k = 0; k < 2; ++k) {
+          isc[k] = ctrl_one ? (ip0[k] & ~ip1[k]) : (~ip0[k] & ~ip1[k]);
+        }
+        alignas(32) float w0[kBatchLanes], w1[kBatchLanes];
+        lane_pass_weights(isc[0], ich[0], ~ip1[0], w0);
+        lane_pass_weights(isc[1], ich[1], ~ip1[1], w1);
+        const float* const d0 = idens[0];
+        const float* const d1 = idens[1];
+        for (int l = 0; l < kBatchLanes; ++l) {
+          od[l] = d0[l] * w1[l] + d1[l] * w0[l];
+        }
+        break;
+      }
+      case CellKind::kAnd3:
+      case CellKind::kOr3: {
+        const bool ctrl_one = gate.kind == CellKind::kOr3;
+        alignas(32) float pw[3][kBatchLanes];
+        for (int k = 0; k < 3; ++k) {
+          const std::uint64_t isc =
+              ctrl_one ? (ip0[k] & ~ip1[k]) : (~ip0[k] & ~ip1[k]);
+          lane_pass_weights(isc, ich[k], ~ip1[k], pw[k]);
+        }
+        const float* const d0 = idens[0];
+        const float* const d1 = idens[1];
+        const float* const d2 = idens[2];
+        for (int l = 0; l < kBatchLanes; ++l) {
+          // Scalar: w starts at 1.0f and multiplies the other two pass
+          // weights in ascending j; 1.0f * x is exact, so one product each.
+          float acc = d0[l] * (pw[1][l] * pw[2][l]);
+          acc += d1[l] * (pw[0][l] * pw[2][l]);
+          acc += d2[l] * (pw[0][l] * pw[1][l]);
+          od[l] = acc;
+        }
+        break;
+      }
+      case CellKind::kMux2: {
+        const std::uint64_t so = ip0[2] & ~ip1[2];  // sel == One
+        const std::uint64_t neq =
+            (ip0[0] ^ ip0[1]) | (ip1[0] ^ ip1[1]);  // d0 != d1 (enum)
+        alignas(32) float fso[kBatchLanes], fch2[kBatchLanes],
+            fneq[kBatchLanes];
+        mask_lanes_f(so, fso);
+        mask_lanes_f(ich[2], fch2);
+        mask_lanes_f(neq, fneq);
+        const float* const d0 = idens[0];
+        const float* const d1 = idens[1];
+        const float* const d2 = idens[2];
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const float unselected =
+              fch2[l] * density_model::kBlockedPass +
+              (1.0f - fch2[l]) * density_model::kStableBlock;
+          const float d_sel = fso[l] * d1[l] + (1.0f - fso[l]) * d0[l];
+          const float d_uns = fso[l] * d0[l] + (1.0f - fso[l]) * d1[l];
+          float acc = fneq[l] * d2[l];
+          acc += d_sel;
+          acc += unselected * d_uns;
+          od[l] = acc;
+        }
+        break;
+      }
+      case CellKind::kTbuf: {
+        const std::uint64_t eo = ip0[1] & ~ip1[1];  // enable == One
+        alignas(32) float feo[kBatchLanes];
+        mask_lanes_f(eo, feo);
+        const float* const d0 = idens[0];
+        const float* const d1 = idens[1];
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const float enabled = d0[l] + 0.5f * d1[l];
+          const float disabled = density_model::kBlockedPass * d1[l];
+          od[l] = feo[l] * enabled + (1.0f - feo[l]) * disabled;
+        }
+        break;
+      }
+      case CellKind::kTie0:
+      case CellKind::kTie1:
+      case CellKind::kCount:
+        std::memset(od, 0, sizeof(float) * kBatchLanes);
+        break;
+    }
+
+    // -- per-lane finalize: toggle bump, clamp, energy, bookkeeping. The
+    // bump `d = d < tf ? tf : d` with tf in {0, 1} is the scalar
+    // `if (toggled && d < 1) d = 1` — densities are never negative, so a
+    // zero tf never lifts d. --
+    alignas(32) float tf[kBatchLanes];
+    mask_lanes_f(tog, tf);
+    for (int l = 0; l < kBatchLanes; ++l) {
+      float d = od[l];
+      d = d < tf[l] ? tf[l] : d;
+      od[l] = std::min(d, density_model::kDensityClamp);
+      tog_cnt[l] += tf[l];
+    }
+    const double half_cap = 0.5 * ctx.cell_cap_ff[g];
+    for (int l = 0; l < kBatchLanes; ++l) {
+      cap_acc[l] += half_cap * static_cast<double>(od[l]);
+    }
+    const std::uint64_t dens_nonzero = nonzero_lanes_f(od) & lane_mask;
+
+    // -- sensitized arrival lanes (changed lanes only feed settle; stores
+    // for unchanged lanes are dead, masked off by `changed` at every read).
+    // Per gate kind ONE fused single-pass loop computes the arrival, the
+    // store and the settle max — intermediate lane arrays cost more than
+    // the arithmetic. Each lane evaluates the same op sequence as the
+    // scalar kernel: v_k = changed_k * arr_k (exact: +0.0 or arr_k), the
+    // latest-changed running max seeded at 0, and for controlled gates the
+    // first-wins min over controlling inputs via the +inf sentinel. --
+    if (ch != 0) {
+      double* const __restrict oarr =
+          ctx.arrival + std::size_t(out) * kBatchLanes;
+      const double gd = ctx.base_delay_ps[g];
+
+      alignas(32) double chd[3][kBatchLanes];
+      for (std::size_t k = 0; k < nin; ++k) mask_lanes_d(ich[k], chd[k]);
+      alignas(32) double chdo[kBatchLanes];
+      mask_lanes_d(ch, chdo);
+
+      Logic ctrl = Logic::kX;
+      std::uint64_t cm = 0;  // lanes where the controlling value decides
+      switch (gate.kind) {
+        case CellKind::kAnd2:
+        case CellKind::kAnd3:
+          ctrl = Logic::kZero;
+          cm = ~o0 & ~o1 & lane_mask;
+          break;
+        case CellKind::kNand2:
+          ctrl = Logic::kZero;
+          cm = o0 & ~o1;
+          break;
+        case CellKind::kOr2:
+        case CellKind::kOr3:
+          ctrl = Logic::kOne;
+          cm = o0 & ~o1;
+          break;
+        case CellKind::kNor2:
+          ctrl = Logic::kOne;
+          cm = ~o0 & ~o1 & lane_mask;
+          break;
+        default:
+          break;
+      }
+      if (ctrl != Logic::kX) {
+        // Earliest input holding the controlling value decides. The scalar
+        // first-wins running min (`!found || v < best`) is reproduced by
+        // masking non-holding inputs to +inf: the first holder always
+        // wins, later ones only on strict <.
+        const double inf = std::numeric_limits<double>::infinity();
+        std::uint64_t isc[3];
+        std::uint64_t found_bits = 0;
+        for (std::size_t k = 0; k < nin; ++k) {
+          isc[k] = ctrl == Logic::kOne ? (ip0[k] & ~ip1[k])
+                                       : (~ip0[k] & ~ip1[k]);
+          found_bits |= isc[k];
+        }
+        // When the output planes came straight from eval_cell, a lane
+        // showing the controlled result has, by construction of z/one,
+        // at least one input at the controlling value: cm ⊆ found. Only a
+        // stuck-at or transient-forced output breaks that, and only then
+        // does the scalar `found` fallback (settle at 0) ever fire.
+        const bool need_found = (cm & ~found_bits) != 0;
+        alignas(32) double iscd[3][kBatchLanes];
+        for (std::size_t k = 0; k < nin; ++k) mask_lanes_d(isc[k], iscd[k]);
+        alignas(32) double cmd[kBatchLanes];
+        mask_lanes_d(cm, cmd);
+        alignas(32) double fnd[kBatchLanes];
+        if (need_found) mask_lanes_d(found_bits, fnd);
+
+        if (nin == 2 && !need_found) {
+          for (int l = 0; l < kBatchLanes; ++l) {
+            const double v0 = chd[0][l] * iarr[0][l];
+            const double v1 = chd[1][l] * iarr[1][l];
+            double t = v0 > 0.0 ? v0 : 0.0;
+            t = v1 > t ? v1 : t;
+            double best = iscd[0][l] != 0.0 ? v0 : inf;
+            const double c1 = iscd[1][l] != 0.0 ? v1 : inf;
+            best = c1 < best ? c1 : best;
+            const double o = (cmd[l] != 0.0 ? best : t) + gd;
+            oarr[l] = o;
+            const double s = chdo[l] * o;
+            settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+          }
+        } else if (nin == 2) {
+          for (int l = 0; l < kBatchLanes; ++l) {
+            const double v0 = chd[0][l] * iarr[0][l];
+            const double v1 = chd[1][l] * iarr[1][l];
+            double t = v0 > 0.0 ? v0 : 0.0;
+            t = v1 > t ? v1 : t;
+            double best = iscd[0][l] != 0.0 ? v0 : inf;
+            const double c1 = iscd[1][l] != 0.0 ? v1 : inf;
+            best = c1 < best ? c1 : best;
+            const double a_ctrl = fnd[l] != 0.0 ? best : 0.0;
+            const double o = (cmd[l] != 0.0 ? a_ctrl : t) + gd;
+            oarr[l] = o;
+            const double s = chdo[l] * o;
+            settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+          }
+        } else if (!need_found) {  // nin == 3
+          for (int l = 0; l < kBatchLanes; ++l) {
+            const double v0 = chd[0][l] * iarr[0][l];
+            const double v1 = chd[1][l] * iarr[1][l];
+            const double v2 = chd[2][l] * iarr[2][l];
+            double t = v0 > 0.0 ? v0 : 0.0;
+            t = v1 > t ? v1 : t;
+            t = v2 > t ? v2 : t;
+            double best = iscd[0][l] != 0.0 ? v0 : inf;
+            const double c1 = iscd[1][l] != 0.0 ? v1 : inf;
+            best = c1 < best ? c1 : best;
+            const double c2 = iscd[2][l] != 0.0 ? v2 : inf;
+            best = c2 < best ? c2 : best;
+            const double o = (cmd[l] != 0.0 ? best : t) + gd;
+            oarr[l] = o;
+            const double s = chdo[l] * o;
+            settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+          }
+        } else {  // nin == 3, stuck/struck output
+          for (int l = 0; l < kBatchLanes; ++l) {
+            const double v0 = chd[0][l] * iarr[0][l];
+            const double v1 = chd[1][l] * iarr[1][l];
+            const double v2 = chd[2][l] * iarr[2][l];
+            double t = v0 > 0.0 ? v0 : 0.0;
+            t = v1 > t ? v1 : t;
+            t = v2 > t ? v2 : t;
+            double best = iscd[0][l] != 0.0 ? v0 : inf;
+            const double c1 = iscd[1][l] != 0.0 ? v1 : inf;
+            best = c1 < best ? c1 : best;
+            const double c2 = iscd[2][l] != 0.0 ? v2 : inf;
+            best = c2 < best ? c2 : best;
+            const double a_ctrl = fnd[l] != 0.0 ? best : 0.0;
+            const double o = (cmd[l] != 0.0 ? a_ctrl : t) + gd;
+            oarr[l] = o;
+            const double s = chdo[l] * o;
+            settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+          }
+        }
+      } else if (gate.kind == CellKind::kMux2) {
+        const std::uint64_t so = ip0[2] & ~ip1[2];
+        alignas(32) double sod[kBatchLanes];
+        mask_lanes_d(so, sod);
+        for (int l = 0; l < kBatchLanes; ++l) {
+          // Selected data input if it changed, else 0; a changed select
+          // that arrives later overrides — the scalar mux settle.
+          const double v0 = chd[0][l] * iarr[0][l];
+          const double v1 = chd[1][l] * iarr[1][l];
+          double a = sod[l] != 0.0 ? v1 : v0;
+          const double v2 = chd[2][l] * iarr[2][l];
+          a = v2 > a ? v2 : a;
+          const double o = a + gd;
+          oarr[l] = o;
+          const double s = chdo[l] * o;
+          settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+        }
+      } else if (gate.kind == CellKind::kTbuf) {
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const double a0 = chd[0][l] * iarr[0][l];
+          const double a1 = chd[1][l] * iarr[1][l];
+          const double o = (a0 > a1 ? a0 : a1) + gd;
+          oarr[l] = o;
+          const double s = chdo[l] * o;
+          settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+        }
+      } else if (nin == 2) {  // Xor2/Xnor2: latest changed input
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const double v0 = chd[0][l] * iarr[0][l];
+          const double v1 = chd[1][l] * iarr[1][l];
+          double t = v0 > 0.0 ? v0 : 0.0;
+          t = v1 > t ? v1 : t;
+          const double o = t + gd;
+          oarr[l] = o;
+          const double s = chdo[l] * o;
+          settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+        }
+      } else if (nin == 1) {  // Buf/Inv
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const double v0 = chd[0][l] * iarr[0][l];
+          const double t = v0 > 0.0 ? v0 : 0.0;
+          const double o = t + gd;
+          oarr[l] = o;
+          const double s = chdo[l] * o;
+          settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+        }
+      } else {  // fanin-free (Tie under a transient): arrival is just gd
+        for (int l = 0; l < kBatchLanes; ++l) {
+          const double o = 0.0 + gd;
+          oarr[l] = o;
+          const double s = chdo[l] * o;
+          settle_acc[l] = s > settle_acc[l] ? s : settle_acc[l];
+        }
+      }
+    }
+
+    // -- stamp the output net (skip when inert in every lane, exactly like
+    // the scalar early-out: value unchanged and density clamped to 0) --
+    const std::uint64_t act = ch | dens_nonzero;
+    if (act != 0) {
+      ctx.plane0[out] = o0;
+      ctx.plane1[out] = o1;
+      ctx.changed[out] = ch;
+      ctx.active[out] = act;
+      ctx.word_epoch[out] = ctx.epoch;
+      ctx.last_value[out] =
+          static_cast<Logic>(((o0 >> (lanes - 1)) & 1u) |
+                             (((o1 >> (lanes - 1)) & 1u) << 1));
+    }
+  }
+
+  ctx.gates_processed += gates_done;
+  for (int l = 0; l < lanes; ++l) {
+    res[l].switched_cap_ff = cap_acc[l];
+    res[l].settle_ps = settle_acc[l];
+    res[l].toggles += static_cast<std::uint64_t>(tog_cnt[l]);
+    res[l].gates_evaluated += gates_done;
+  }
+}

@@ -1,0 +1,25 @@
+#pragma once
+
+// Constants of the transition-density glitch/energy model (docs/MODEL.md
+// section on switching activity). They live in one header because TWO step
+// kernels evaluate the model — the scalar one in timing_sim.cpp and the
+// 64-lane batch one in batch_sweep.inl — and the bit-identity guarantee
+// between them (tests/batch_kernel_test.cpp) requires the exact same
+// literals on both sides.
+
+namespace agingsim::density_model {
+
+/// Driver + register output capacitance charged per changed primary input.
+inline constexpr double kInputCapFf = 1.0;
+
+// Transition-density weights: an edge on one input of a controlled gate
+// propagates when the other inputs sit at non-controlling values (weight
+// 1). A controlling value that changed this step blocks edges only after
+// it lands (weight kBlockedPass for the window before); one that was
+// already stable blocks essentially everything (kStableBlock). Unknowns
+// are ambiguous (0.5).
+inline constexpr float kBlockedPass = 0.2f;
+inline constexpr float kStableBlock = 0.02f;
+inline constexpr float kDensityClamp = 32.0f;
+
+}  // namespace agingsim::density_model

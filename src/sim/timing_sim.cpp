@@ -5,22 +5,19 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/core/env.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/sim/density_model.hpp"
 
 namespace agingsim {
 namespace {
 
-constexpr double kInputCapFf = 1.0;  // driver + register output cap per PI
-
-// Transition-density weights: an edge on one input of a controlled gate
-// propagates when the other inputs sit at non-controlling values (weight
-// 1). A controlling value that changed this step blocks edges only after
-// it lands (weight kBlockedPass for the window before); one that was
-// already stable blocks essentially everything (kStableBlock). Unknowns
-// are ambiguous (0.5).
-constexpr float kBlockedPass = 0.2f;
-constexpr float kStableBlock = 0.02f;
-constexpr float kDensityClamp = 32.0f;
+// Shared with the batch kernel's lane loops — same literals, or the
+// kernel bit-identity guarantee breaks (see density_model.hpp).
+using density_model::kBlockedPass;
+using density_model::kDensityClamp;
+using density_model::kInputCapFf;
+using density_model::kStableBlock;
 
 // Everything here accumulates per *step*, never per gate — the per-gate
 // loops stay metric-free so an enabled run stays close to a disabled one.
@@ -43,6 +40,26 @@ const SimMetrics& sim_metrics() {
 }
 
 }  // namespace
+
+SimKernel resolve_kernel(SimKernel requested) {
+  if (requested != SimKernel::kAuto) return requested;
+  static constexpr const char* kChoices[] = {"dense", "sparse", "batch"};
+  static constexpr SimKernel kKernels[] = {SimKernel::kDense,
+                                           SimKernel::kSparse,
+                                           SimKernel::kBatch};
+  const auto idx = env::choice_var("AGINGSIM_KERNEL", kChoices);
+  return idx.has_value() ? kKernels[*idx] : SimKernel::kSparse;
+}
+
+const char* kernel_name(SimKernel kernel) noexcept {
+  switch (kernel) {
+    case SimKernel::kAuto: return "auto";
+    case SimKernel::kDense: return "dense";
+    case SimKernel::kSparse: return "sparse";
+    case SimKernel::kBatch: return "batch";
+  }
+  return "?";
+}
 
 TimingSim::TimingSim(const Netlist& netlist, const TechLibrary& tech,
                      std::span<const double> gate_delay_scale)
@@ -400,6 +417,21 @@ StepResult TimingSim::step(std::span<const Logic> input_values) {
     }
   }
   return result;
+}
+
+void TimingSim::install_state(std::span<const Logic> net_values,
+                              std::int64_t next_step_index) {
+  if (net_values.size() != netlist_->num_nets()) {
+    throw std::invalid_argument(
+        "TimingSim::install_state: need one value per net");
+  }
+  value_.assign(net_values.begin(), net_values.end());
+  step_index_ = next_step_index;
+  // One dense sweep next: the installed state may be the all-X power-up
+  // snapshot, whose fanin-free Tie cells only a dense sweep evaluates. For
+  // settled mid-stream snapshots the dense and sparse kernels are
+  // bit-identical anyway, so this costs one sweep and changes no result.
+  force_dense_ = true;
 }
 
 std::uint64_t TimingSim::output_bits() const {

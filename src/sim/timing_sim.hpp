@@ -11,6 +11,20 @@
 
 namespace agingsim {
 
+/// Step-kernel families the trace/campaign/serving layers can drive. The
+/// scalar kernels live in TimingSim (Mode::kDense / Mode::kSparse); kBatch
+/// selects the 64-lane SWAR kernel in src/sim/batch_sim.hpp. All three are
+/// bit-identical on every guaranteed StepResult/OpTrace field; they differ
+/// only in throughput and in the gates_evaluated diagnostic.
+enum class SimKernel : std::uint8_t { kAuto = 0, kDense, kSparse, kBatch };
+
+/// Resolves kAuto against AGINGSIM_KERNEL (dense|sparse|batch; an
+/// unrecognized value warns once and falls back to sparse, the scalar
+/// default). Non-auto values pass through untouched.
+SimKernel resolve_kernel(SimKernel requested);
+
+const char* kernel_name(SimKernel kernel) noexcept;
+
 /// Outcome of applying one input pattern.
 struct StepResult {
   /// Time (ps) at which the last *primary output* settles, i.e. the path
@@ -108,6 +122,19 @@ class TimingSim {
   /// settles the netlist. The first call establishes the power-up state (all
   /// nets transition from X); its timing numbers are still well defined.
   StepResult step(std::span<const Logic> input_values);
+
+  /// Overwrites every net value and the step counter in one call, as if the
+  /// simulator had just settled `next_step_index` patterns and left the
+  /// netlist holding `net_values`. The batch kernel's guard-margin replay
+  /// uses this to reconstruct the scalar state "as of lane k-1" and re-run
+  /// lane k through this exact kernel: a step() from an installed state is
+  /// bit-identical to the same step in an uninterrupted scalar stream,
+  /// because a step depends only on the net values, the delays, and the
+  /// step index (per-step density/arrival scratch is epoch-gated, so no
+  /// stale data survives the install). Throws std::invalid_argument on a
+  /// value count mismatch.
+  void install_state(std::span<const Logic> net_values,
+                     std::int64_t next_step_index);
 
   /// Applies an unsigned pattern to an input bus laid out LSB-first starting
   /// at primary-input index `first_input`.

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +16,8 @@
 #include "src/fault/campaign.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/report/json.hpp"
+#include "src/runtime/checkpoint.hpp"
+#include "src/runtime/robust_runner.hpp"
 
 namespace agingsim {
 namespace {
@@ -112,6 +117,109 @@ TEST(ParallelDeterminismTest, FaultCampaignIsIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(one == eight);
   EXPECT_EQ(one.trials, 5u);
   EXPECT_EQ(one.ops, 5u * 200u);
+}
+
+TEST(ParallelDeterminismTest, BatchKernelCampaignIsIdenticalAcrossThreads) {
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  VlSystemConfig system;
+  system.period_ps = 900.0;
+  system.ahl.width = 16;
+  system.ahl.skip = 7;
+  FaultCampaignConfig config;
+  config.kind = FaultKind::kDelayOutlier;
+  config.trials = 5;
+  config.sites_per_trial = 2;
+  const FaultCampaign campaign(m, tech(), system, config);
+  const auto patterns = workload(16, 150);
+
+  const auto run_with = [&](const char* threads, SimKernel kernel) {
+    ScopedThreadsEnv scoped(threads);
+    return campaign.run(patterns, CampaignRunOptions{.kernel = kernel});
+  };
+  const FaultCampaignStats one = run_with("1", SimKernel::kBatch);
+  const FaultCampaignStats eight = run_with("8", SimKernel::kBatch);
+  EXPECT_TRUE(one == eight) << "batch campaign diverged across thread counts";
+  // The kernels are bit-identical, so the whole campaign is too: the batch
+  // word kernel must reproduce the sparse event-driven statistics exactly.
+  const FaultCampaignStats sparse = run_with("8", SimKernel::kSparse);
+  EXPECT_TRUE(one == sparse) << "batch campaign diverged from sparse kernel";
+  EXPECT_EQ(one.trials, 5u);
+  EXPECT_GT(one.ops, 0u);
+}
+
+// A campaign killed mid-run leaves the checkpoint store with only the units
+// that finished (persist is atomic per unit — a SIGKILL can tear nothing
+// else). Emulated here by erasing the trailing units' files; the resumed
+// campaign must restore the survivors, recompute only the missing units,
+// and land on byte-identical statistics — even when the resume switches
+// kernel and thread count, since neither is part of the config digest.
+TEST(ParallelDeterminismTest, BatchCampaignResumesIdenticallyAfterKill) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "agingsim_batch_resume_test";
+  fs::remove_all(dir);
+
+  const MultiplierNetlist m = build_column_bypass_multiplier(16);
+  VlSystemConfig system;
+  system.period_ps = 900.0;
+  system.ahl.width = 16;
+  system.ahl.skip = 7;
+  FaultCampaignConfig config;
+  config.kind = FaultKind::kStuckAt1;
+  config.trials = 6;
+  config.sites_per_trial = 2;
+  const FaultCampaign campaign(m, tech(), system, config);
+  const auto patterns = workload(16, 120);
+  const std::uint64_t digest = campaign.config_digest(patterns);
+
+  runtime::RunnerConfig fast;
+  fast.max_retries = 0;
+  fast.backoff_base = std::chrono::milliseconds(1);
+
+  // Uninterrupted single-thread sparse run: the golden statistics, and the
+  // full set of per-unit checkpoints (baseline + trials = 7 files).
+  FaultCampaignStats golden;
+  {
+    ScopedThreadsEnv scoped("1");
+    runtime::CheckpointStore store(dir, digest);
+    store.load();
+    runtime::RunnerConfig cfg = fast;
+    cfg.checkpoints = &store;
+    runtime::RobustRunner runner(cfg);
+    golden = campaign.run(
+        patterns,
+        CampaignRunOptions{.kernel = SimKernel::kSparse, .runner = &runner});
+  }
+
+  // "Kill" after unit 2: units 3.. never persisted.
+  std::size_t erased = 0;
+  for (std::uint64_t unit = 3; unit <= 6; ++unit) {
+    char name[32];
+    std::snprintf(name, sizeof name, "unit-%06llu.ckpt",
+                  static_cast<unsigned long long>(unit));
+    erased += fs::remove(dir / name) ? 1u : 0u;
+  }
+  ASSERT_EQ(erased, 4u);
+
+  // Resume on 8 threads under the batch kernel: restored prefix + freshly
+  // computed tail must reproduce the golden statistics exactly.
+  {
+    ScopedThreadsEnv scoped("8");
+    runtime::CheckpointStore store(dir, digest);
+    ASSERT_EQ(store.load().loaded, 3u);  // baseline + units 1, 2
+    runtime::RunnerConfig cfg = fast;
+    cfg.checkpoints = &store;
+    runtime::RobustRunner runner(cfg);
+    runtime::RunReport report;
+    const FaultCampaignStats resumed = campaign.run(
+        patterns, CampaignRunOptions{.kernel = SimKernel::kBatch,
+                                     .runner = &runner,
+                                     .report = &report});
+    EXPECT_TRUE(resumed == golden) << "resumed campaign diverged";
+    EXPECT_EQ(report.restored, 3u);
+    EXPECT_EQ(report.computed, 4u);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(ParallelDeterminismTest, MetricsSnapshotIsIdenticalAcrossThreadCounts) {

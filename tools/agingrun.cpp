@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "src/core/env.hpp"
 #include "src/fault/campaign.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -146,6 +147,10 @@ void print_usage(std::ostream& os) {
         "  --backoff-ms N     base backoff before the first retry [25]\n"
         "  --chaos SPEC       seed:rate[:actions], actions in [tpsc]\n"
         "                     (overrides AGINGSIM_CHAOS)\n"
+        "  --kernel NAME      step kernel: dense|sparse|batch (overrides\n"
+        "                     AGINGSIM_KERNEL) [sparse]\n"
+        "  --batch-guard-ps F batch-kernel scalar-replay guard margin in ps\n"
+        "                     (overrides AGINGSIM_BATCH_GUARD_PS) [0 = off]\n"
         "  --json PATH        write campaign JSON to PATH ('-' = stdout)\n"
         "  --trace PATH       record spans, write a Chrome trace-event\n"
         "                     file to PATH (chrome://tracing, Perfetto)\n"
@@ -272,6 +277,25 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       const auto v = need_value("--chaos");
       if (!v) { exit_code = 2; return std::nullopt; }
       opt.chaos_spec = *v;
+    } else if (arg == "--kernel") {
+      const auto v = need_value("--kernel");
+      if (!v || (*v != "dense" && *v != "sparse" && *v != "batch")) {
+        std::cerr << "agingrun: --kernel wants dense|sparse|batch\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      // Exported rather than stored: every layer resolves the kernel through
+      // AGINGSIM_KERNEL, so one setenv reaches them all.
+      ::setenv("AGINGSIM_KERNEL", v->c_str(), 1);
+    } else if (arg == "--batch-guard-ps") {
+      const auto v = need_value("--batch-guard-ps");
+      if (!v || !env::parse_double(*v).has_value() ||
+          *env::parse_double(*v) < 0.0) {
+        std::cerr << "agingrun: --batch-guard-ps wants a number >= 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      ::setenv("AGINGSIM_BATCH_GUARD_PS", v->c_str(), 1);
     } else if (arg == "--json") {
       const auto v = need_value("--json");
       if (!v) { exit_code = 2; return std::nullopt; }
