@@ -7,9 +7,9 @@
 
 #include "src/core/razor.hpp"
 #include "src/lint/diagnostic.hpp"
+#include "src/sim/sta.hpp"
 
 namespace agingsim {
-struct TechLibrary;
 class AgingScenario;
 struct MultiplierNetlist;
 }  // namespace agingsim
@@ -40,6 +40,15 @@ struct TimingContext {
   /// bank is Razor-protected (the paper's Fig. 8 architecture). A 0 entry
   /// models a severed Razor tap on that output.
   std::vector<std::uint8_t> razor_protected{};
+  /// Enables the min-path (hold) side: timing.hold-window proves every
+  /// Razor-protected output's earliest arrival clears the shadow sampling
+  /// window at every corner. Off by default because a bare combinational
+  /// multiplier genuinely has short paths (p[0] is one AND gate) — the rule
+  /// is meant to be run together with the hold-repair pass.
+  bool check_hold = false;
+  /// Extra guard band (ps) the min arrival must clear beyond the shadow
+  /// window (clock skew / latch aperture allowance).
+  double hold_margin_ps = 0.0;
 
   bool output_protected(std::size_t output_index) const noexcept {
     return razor_protected.empty() || (output_index < razor_protected.size() &&
@@ -109,5 +118,13 @@ class RuleRegistry {
 void register_structural_rules(RuleRegistry& registry);
 void register_timing_rules(RuleRegistry& registry);
 void register_consistency_rules(RuleRegistry& registry);
+
+/// The STA corners a TimingContext describes: one per sweep year, each
+/// carrying that year's per-gate aging overlay (or no overlay when the
+/// context has no scenario — a single "fresh" corner). Shared by the timing
+/// rule family and the hold-repair pass so both prove the same corners.
+/// Throws std::invalid_argument when an overlay is not sized one-per-gate.
+std::vector<StaCorner> aging_corners(const Netlist& netlist,
+                                     const TimingContext& timing);
 
 }  // namespace agingsim::lint

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,19 +47,13 @@ bool timing_ready(const LintContext& ctx, std::string_view rule_id,
   return true;
 }
 
-/// Worst (latest) year of the sweep; 0 when there is no aging model, since
-/// every year then shares the fresh delays.
-double worst_year(const TimingContext& timing) {
-  if (timing.aging == nullptr || timing.sweep_years.empty()) return 0.0;
-  return *std::max_element(timing.sweep_years.begin(),
-                           timing.sweep_years.end());
-}
-
-StaResult aged_sta(const Netlist& nl, const TimingContext& timing,
-                   double years) {
-  if (timing.aging == nullptr) return run_sta(nl, *timing.tech);
-  const std::vector<double> scales = timing.aging->delay_scales_at(years);
-  return run_sta(nl, *timing.tech, scales);
+/// One multi-corner min/max pass over the whole sweep. Every timing rule
+/// reads the same result, so setup and hold verdicts are provably computed
+/// from identical arrival planes.
+MinMaxStaResult sweep_sta(const Netlist& nl, const TimingContext& timing) {
+  const StaEngine engine(nl, *timing.tech);
+  const std::vector<StaCorner> corners = aging_corners(nl, timing);
+  return engine.run(corners);
 }
 
 // ---------------------------------------------------------------------------
@@ -83,15 +78,23 @@ class RazorCoverageRule final : public Rule {
     if (!timing_ready(ctx, id(), out)) return;
     const Netlist& nl = *ctx.netlist;
     const TimingContext& timing = *ctx.timing;
-    const double years = worst_year(timing);
-    const StaResult sta = aged_sta(nl, timing, years);
+    const MinMaxStaResult sta = sweep_sta(nl, timing);
 
     std::size_t can_exceed = 0;
     std::size_t uncovered = 0;
     double worst_ps = 0.0;
     for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
       const NetId o = nl.output_nets()[i];
-      const double arrival = sta.arrival_ps[o];
+      // Worst arrival over the whole sweep (aging is monotone, but the rule
+      // does not rely on that — every corner is checked).
+      double arrival = 0.0;
+      const CornerTiming* at = nullptr;
+      for (const CornerTiming& c : sta.corners) {
+        if (c.max_arrival_ps[o] >= arrival) {
+          arrival = c.max_arrival_ps[o];
+          at = &c;
+        }
+      }
       worst_ps = std::max(worst_ps, arrival);
       if (arrival <= timing.period_ps) continue;
       ++can_exceed;
@@ -100,7 +103,7 @@ class RazorCoverageRule final : public Rule {
         out.push_back(Diagnostic{
             Severity::kError, std::string(id()),
             "output " + nl.output_name(i) + " worst aged arrival " +
-                fmt_ps(arrival) + " (year " + fmt_years(years) +
+                fmt_ps(arrival) + " (" + at->name +
                 ") exceeds T_clk = " + fmt_ps(timing.period_ps) +
                 " but is not Razor-protected: a late settle commits "
                 "silently",
@@ -113,7 +116,8 @@ class RazorCoverageRule final : public Rule {
           "proved: " + std::to_string(can_exceed) + " of " +
               std::to_string(nl.num_outputs()) +
               " outputs can exceed T_clk = " + fmt_ps(timing.period_ps) +
-              " at year " + fmt_years(years) + " (worst " + fmt_ps(worst_ps) +
+              " across " + std::to_string(sta.corners.size()) +
+              " corners (worst " + fmt_ps(worst_ps) +
               "); all are Razor-protected",
           kNoGate, kInvalidNet});
     }
@@ -143,26 +147,29 @@ class ShadowWindowRule final : public Rule {
     if (!timing_ready(ctx, id(), out)) return;
     const Netlist& nl = *ctx.netlist;
     const TimingContext& timing = *ctx.timing;
-    const double years = worst_year(timing);
-    const StaResult sta = aged_sta(nl, timing, years);
+    const MinMaxStaResult sta = sweep_sta(nl, timing);
     const double window_ps =
         timing.period_ps * (1.0 + timing.razor.shadow_window_cycles);
 
     std::size_t beyond = 0;
     for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
       const NetId o = nl.output_nets()[i];
-      const double arrival = sta.arrival_ps[o];
       // Unprotected late outputs are razor-coverage errors; this rule owns
       // the protected-but-unrecoverable case.
-      if (arrival <= window_ps || !timing.output_protected(i)) continue;
-      ++beyond;
-      out.push_back(Diagnostic{
-          Severity::kError, std::string(id()),
-          "output " + nl.output_name(i) + " worst aged arrival " +
-              fmt_ps(arrival) + " (year " + fmt_years(years) +
-              ") lands beyond the Razor shadow window " + fmt_ps(window_ps) +
-              ": the violation is undetectable even with Razor",
-          kNoGate, o});
+      if (!timing.output_protected(i)) continue;
+      for (const CornerTiming& c : sta.corners) {
+        const double arrival = c.max_arrival_ps[o];
+        if (arrival <= window_ps) continue;
+        ++beyond;
+        out.push_back(Diagnostic{
+            Severity::kError, std::string(id()),
+            "output " + nl.output_name(i) + " worst aged arrival " +
+                fmt_ps(arrival) + " (" + c.name +
+                ") lands beyond the Razor shadow window " + fmt_ps(window_ps) +
+                ": the violation is undetectable even with Razor",
+            kNoGate, o});
+        break;  // one diagnostic per output, at its first failing corner
+      }
     }
     if (beyond == 0) {
       out.push_back(Diagnostic{
@@ -177,7 +184,7 @@ class ShadowWindowRule final : public Rule {
 // ---------------------------------------------------------------------------
 // timing.hold-count — the AHL can stretch an operation to at most
 // `max_hold_cycles` cycles; the statically computed aged critical path must
-// fit that budget at *every* point of the scenario sweep, or the
+// fit that budget at *every* corner of the scenario sweep, or the
 // variable-latency guarantee ("every path fits in two cycles") breaks as
 // the silicon ages.
 // ---------------------------------------------------------------------------
@@ -196,29 +203,25 @@ class HoldCountRule final : public Rule {
     const Netlist& nl = *ctx.netlist;
     const TimingContext& timing = *ctx.timing;
     const double budget_ps = timing.period_ps * timing.max_hold_cycles;
+    const MinMaxStaResult sta = sweep_sta(nl, timing);
 
-    std::vector<double> years = timing.sweep_years;
-    if (years.empty() || timing.aging == nullptr) years = {0.0};
-    std::sort(years.begin(), years.end());
-
-    double first_bad_year = -1.0;
-    double worst_crit = 0.0;
-    double worst_crit_year = 0.0;
-    for (const double y : years) {
-      const double crit = aged_sta(nl, timing, y).critical_path_ps;
-      if (crit > worst_crit) {
-        worst_crit = crit;
-        worst_crit_year = y;
+    const CornerTiming* first_bad = nullptr;
+    const CornerTiming* worst = nullptr;
+    for (const CornerTiming& c : sta.corners) {
+      if (worst == nullptr || c.critical_path_ps > worst->critical_path_ps) {
+        worst = &c;
       }
-      if (crit > budget_ps && first_bad_year < 0.0) first_bad_year = y;
+      if (c.critical_path_ps > budget_ps && first_bad == nullptr) {
+        first_bad = &c;
+      }
     }
 
-    if (first_bad_year >= 0.0) {
+    if (first_bad != nullptr) {
       out.push_back(Diagnostic{
           Severity::kError, std::string(id()),
-          "aged critical path " + fmt_ps(worst_crit) + " (year " +
-              fmt_years(worst_crit_year) + ", first violation at year " +
-              fmt_years(first_bad_year) + ") exceeds the AHL hold budget " +
+          "aged critical path " + fmt_ps(worst->critical_path_ps) + " (" +
+              worst->name + ", first violation at " + first_bad->name +
+              ") exceeds the AHL hold budget " +
               std::to_string(timing.max_hold_cycles) + " x T_clk = " +
               fmt_ps(budget_ps) +
               ": a held operation can still miss its deadline",
@@ -228,10 +231,103 @@ class HoldCountRule final : public Rule {
           Severity::kInfo, std::string(id()),
           "proved: critical path stays within the hold budget " +
               std::to_string(timing.max_hold_cycles) + " x T_clk = " +
-              fmt_ps(budget_ps) + " across " + std::to_string(years.size()) +
-              " sweep points (worst " + fmt_ps(worst_crit) + " at year " +
-              fmt_years(worst_crit_year) + ", margin " +
-              fmt_ps(budget_ps - worst_crit) + ")",
+              fmt_ps(budget_ps) + " across " +
+              std::to_string(sta.corners.size()) + " corners (worst " +
+              fmt_ps(worst->critical_path_ps) + " at " + worst->name +
+              ", margin " + fmt_ps(budget_ps - worst->critical_path_ps) + ")",
+          kNoGate, kInvalidNet});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// timing.hold-window — the min-path dual of timing.shadow-window. The shadow
+// latch samples a Razor-protected output W = shadow_window_cycles x T_clk
+// after the main capture edge, which is exactly when the *next* operation has
+// been computing for W. If any min-corner arrival of a protected output is
+// below W (+ margin), the next operation's data races through the short path
+// and tramples the shadow capture — Razor then compares the main flop against
+// garbage, so a real late settle can be "confirmed" correct. The legacy
+// max-only rules are structurally blind to this: it is a failure of the
+// *earliest* arrival, and (per the StaEngine min-plane contract) tri-state
+// bypass enables make real short paths even shorter than an always-enabled
+// reading admits.
+//
+// Gated behind TimingContext::check_hold because bare generated multipliers
+// genuinely violate it (p[0] is a single AND gate); the hold-repair pass
+// (src/lint/repair.hpp) exists to make designs pass this rule.
+// ---------------------------------------------------------------------------
+class HoldWindowRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override {
+    return "timing.hold-window";
+  }
+  RuleCategory category() const noexcept override {
+    return RuleCategory::kTiming;
+  }
+  std::string_view description() const noexcept override {
+    return "no Razor-protected output's earliest (min-corner) arrival falls "
+           "inside the shadow sampling window";
+  }
+  void run(const LintContext& ctx, std::vector<Diagnostic>& out) const override {
+    if (!timing_ready(ctx, id(), out)) return;
+    const Netlist& nl = *ctx.netlist;
+    const TimingContext& timing = *ctx.timing;
+    if (!timing.check_hold) {
+      out.push_back(Diagnostic{
+          Severity::kInfo, std::string(id()),
+          "skipped: hold analysis disabled (enable with "
+          "TimingContext::check_hold / aginglint --hold)",
+          kNoGate, kInvalidNet});
+      return;
+    }
+    const MinMaxStaResult sta = sweep_sta(nl, timing);
+    const double window_ps =
+        timing.period_ps * timing.razor.shadow_window_cycles;
+    const double required_ps = window_ps + timing.hold_margin_ps;
+
+    std::size_t violating = 0;
+    std::size_t protected_outputs = 0;
+    double tightest = 0.0;
+    bool have_margin = false;
+    for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+      if (!timing.output_protected(i)) continue;
+      ++protected_outputs;
+      const NetId o = nl.output_nets()[i];
+      for (const CornerTiming& c : sta.corners) {
+        const double arrival = c.min_arrival_ps[o];
+        if (arrival < required_ps) {
+          ++violating;
+          out.push_back(Diagnostic{
+              Severity::kError, std::string(id()),
+              "output " + nl.output_name(i) + " earliest arrival " +
+                  fmt_ps(arrival) + " (" + c.name +
+                  ") falls inside the shadow sampling window " +
+                  fmt_ps(window_ps) + " + margin " +
+                  fmt_ps(timing.hold_margin_ps) +
+                  ": the next operation's short path overwrites the shadow "
+                  "capture before it samples, making real violations "
+                  "undetectable",
+              kNoGate, o});
+          break;  // one diagnostic per output, at its first failing corner
+        }
+        const double margin = arrival - required_ps;
+        if (!have_margin || margin < tightest) {
+          tightest = margin;
+          have_margin = true;
+        }
+      }
+    }
+    if (violating == 0) {
+      out.push_back(Diagnostic{
+          Severity::kInfo, std::string(id()),
+          "proved: all " + std::to_string(protected_outputs) +
+              " Razor-protected outputs clear the shadow sampling window " +
+              fmt_ps(window_ps) + " + margin " +
+              fmt_ps(timing.hold_margin_ps) + " across " +
+              std::to_string(sta.corners.size()) + " corners" +
+              (have_margin ? " (tightest hold margin " + fmt_ps(tightest) + ")"
+                           : ""),
           kNoGate, kInvalidNet});
     }
   }
@@ -239,10 +335,36 @@ class HoldCountRule final : public Rule {
 
 }  // namespace
 
+std::vector<StaCorner> aging_corners(const Netlist& netlist,
+                                     const TimingContext& timing) {
+  std::vector<StaCorner> corners;
+  if (timing.aging == nullptr || timing.sweep_years.empty()) {
+    corners.push_back(StaCorner{"fresh", {}});
+    return corners;
+  }
+  std::vector<double> years = timing.sweep_years;
+  std::sort(years.begin(), years.end());
+  years.erase(std::unique(years.begin(), years.end()), years.end());
+  corners.reserve(years.size());
+  for (const double y : years) {
+    StaCorner c;
+    c.name = "year " + fmt_years(y);
+    c.gate_delay_scale = timing.aging->delay_scales_at(y);
+    if (c.gate_delay_scale.size() != netlist.num_gates()) {
+      throw std::invalid_argument(
+          "aging_corners: scenario overlay is not sized one-per-gate (the "
+          "aging scenario was built for a different netlist)");
+    }
+    corners.push_back(std::move(c));
+  }
+  return corners;
+}
+
 void register_timing_rules(RuleRegistry& registry) {
   registry.add(std::make_unique<RazorCoverageRule>());
   registry.add(std::make_unique<ShadowWindowRule>());
   registry.add(std::make_unique<HoldCountRule>());
+  registry.add(std::make_unique<HoldWindowRule>());
 }
 
 }  // namespace agingsim::lint

@@ -4,21 +4,27 @@
 
 namespace agingsim {
 
-/// Test-only structural surgery on a Netlist.
+/// Structural surgery on a Netlist.
 ///
 /// `Netlist`'s public construction API makes invalid structures
 /// unrepresentable (pin counts checked, nets must exist before use, drivers
-/// assigned exactly once). That is the right property for production code
-/// and the wrong one for testing the lint subsystem, whose whole job is to
-/// diagnose broken structures. The surgeon is the sanctioned hole: it
-/// reaches through the encapsulation and corrupts the raw tables —
-/// mirroring real generator-bug classes like dropped pins, duplicated
-/// drivers and dangling outputs — so tests and the lint fuzzers can prove
-/// every rule fires and nothing crashes.
+/// assigned exactly once) but is append-only. The surgeon reaches through
+/// the encapsulation for the two cases that need more:
 ///
-/// Every mutation invalidates the netlist's derived fanout index. Do not
-/// use outside tests: a mutated netlist violates the invariants every
-/// simulator relies on.
+///  - **Corruption primitives** (`set_*`): deliberately break the raw
+///    tables — mirroring real generator-bug classes like dropped pins,
+///    duplicated drivers and dangling outputs — so tests and the lint
+///    fuzzers can prove every rule fires and nothing crashes. A netlist
+///    mutated this way violates the invariants every simulator relies on;
+///    test-only.
+///  - **Repair primitives** (`insert_buffer`, `insert_output_buffer`):
+///    structure-preserving edits with a structural-lint-clean guarantee —
+///    applied to a valid netlist they yield a valid netlist with identical
+///    logic function. The hold-repair pass (src/lint/repair.hpp) uses them
+///    to pad short paths with delay buffers; the lint fuzzers use them as
+///    benign mutations that must never trip a rule.
+///
+/// Every mutation invalidates the netlist's derived fanout index.
 class NetlistSurgeon {
  public:
   explicit NetlistSurgeon(Netlist& netlist) : nl_(netlist) {}
@@ -47,6 +53,30 @@ class NetlistSurgeon {
   /// Repoints a registered primary output at an arbitrary (possibly
   /// nonexistent) net, bypassing mark_output's existence check.
   void set_output_net(std::size_t output_index, NetId net);
+
+  /// Inserts a chain of `count` kBuf cells between `net` and gate `sink`:
+  /// every pin of `sink` that reads `net` is rewired to the chain's output,
+  /// all other consumers of `net` are untouched. The chain is spliced *in
+  /// place* — the buffer gates take ids `sink .. sink+count-1` and their
+  /// output nets take ids `gate(sink).out .. +count-1`, with every later
+  /// gate and net renumbered — so the edited netlist still satisfies the
+  /// topological-order invariant (gate ids and net ids both remain
+  /// topological orders) and passes the full structural rule family.
+  /// Callers holding per-gate or per-net side tables (aging overlays,
+  /// arrival arrays) must splice them identically.
+  ///
+  /// Returns the net id now feeding `sink` (the last buffer's output).
+  /// Throws std::invalid_argument when `sink` does not read `net`, either id
+  /// is out of range, the sink's pin window is corrupt, or count < 1.
+  NetId insert_buffer(NetId net, GateId sink, int count = 1);
+
+  /// Inserts a chain of `count` kBuf cells between primary output
+  /// `output_index` and its driving net, repointing only that output entry.
+  /// Append-only: existing gate and net ids are unchanged (per-gate side
+  /// tables extend with `count` trailing entries). Returns the new output
+  /// net. Throws std::invalid_argument on a bad index, an output net out of
+  /// range (dangling-output corruption), or count < 1.
+  NetId insert_output_buffer(std::size_t output_index, int count = 1);
 
  private:
   Netlist& nl_;

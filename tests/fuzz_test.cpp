@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/lint/engine.hpp"
+#include "src/lint/repair.hpp"
 #include "src/netlist/netlist.hpp"
 #include "src/netlist/surgeon.hpp"
 #include "src/netlist/techlib.hpp"
@@ -215,6 +216,41 @@ TEST(FuzzTest, LintFlagsEveryInjectedStructuralDefect) {
   // The skip branches (tie cells, self-aliased victim) must not hollow the
   // test out.
   EXPECT_GE(injected, 40);
+}
+
+// The surgeon's *repair* primitives are the dual of its corruption
+// primitives: random benign buffer insertions (mid-graph, with full
+// renumbering, and at endpoints) must never trip a single lint rule and
+// must preserve the logic function exactly — the guarantee the hold-repair
+// pass builds on.
+TEST(FuzzTest, BenignBufferInsertionsStayLintCleanAndEquivalent) {
+  Rng rng(0xF028);
+  for (int trial = 0; trial < 30; ++trial) {
+    Netlist nl = random_netlist(rng, 6, 40);
+    ASSERT_EQ(lint_errors(nl), 0u) << "baseline must be clean, trial "
+                                   << trial;
+    const Netlist original = nl;
+    for (int m = 0; m < 4; ++m) {
+      if (rng.next_below(4) == 0) {
+        NetlistSurgeon(nl).insert_output_buffer(
+            rng.next_below(nl.num_outputs()),
+            static_cast<int>(1 + rng.next_below(3)));
+        continue;
+      }
+      const GateId g = static_cast<GateId>(rng.next_below(nl.num_gates()));
+      if (nl.gate(g).in_count == 0) continue;
+      const NetId in = nl.gate_inputs(g)[rng.next_below(nl.gate(g).in_count)];
+      NetlistSurgeon(nl).insert_buffer(in, g,
+                                       static_cast<int>(1 + rng.next_below(3)));
+    }
+    ASSERT_NO_THROW(nl.validate()) << "trial " << trial;
+    EXPECT_EQ(lint_errors(nl), 0u) << "benign mutation flagged, trial "
+                                   << trial;
+    const lint::EquivalenceSummary eq = lint::check_logic_equivalence(
+        original, nl, default_tech_library(), 64, 0xF028u + trial);
+    EXPECT_TRUE(eq.ok()) << "logic changed, trial " << trial << " ("
+                         << eq.mismatches << " lanes)";
+  }
 }
 
 TEST(FuzzTest, LintEngineNeverCrashesOnRandomMutants) {

@@ -353,6 +353,57 @@ TEST_F(LintTimingTest, TimingRulesSkipGracefullyWithoutContext) {
   EXPECT_NE(infos[0].message.find("skipped"), std::string::npos);
 }
 
+TEST_F(LintTimingTest, HoldWindowRuleIsOptInAndRecordsWhy) {
+  // Default context: the rule must not fire (stock multipliers genuinely
+  // have short paths) but must say it was disabled, not silently pass.
+  const LintReport report = run_with(safe_timing());
+  const auto infos = diags_for(report.diagnostics, "timing.hold-window");
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].severity, Severity::kInfo);
+  EXPECT_NE(infos[0].message.find("skipped"), std::string::npos);
+  EXPECT_NE(infos[0].message.find("disabled"), std::string::npos);
+}
+
+TEST_F(LintTimingTest, HoldWindowFlagsStockShortPathsWhenEnabled) {
+  lint::TimingContext timing = safe_timing();
+  timing.check_hold = true;
+  const LintReport report = run_with(timing);
+  // p[0] of any generated multiplier is a single AND gate: its earliest
+  // arrival is one cell delay, far inside the shadow sampling window at
+  // this period — an undetectable-corruption hazard only min analysis sees.
+  const auto errors = diags_for(report.diagnostics, "timing.hold-window");
+  ASSERT_GE(errors.size(), 1u) << report.summary();
+  EXPECT_EQ(errors[0].severity, Severity::kError);
+  EXPECT_NE(errors[0].message.find("shadow sampling window"),
+            std::string::npos);
+  bool p0_flagged = false;
+  for (const Diagnostic& d : errors) {
+    p0_flagged |= d.net == mult_.netlist.output_nets()[0];
+  }
+  EXPECT_TRUE(p0_flagged);
+
+  // Severing p[0]'s Razor tap exempts it: the shadow latch it would trample
+  // no longer exists.
+  timing.razor_protected.assign(mult_.netlist.num_outputs(), 1);
+  timing.razor_protected[0] = 0;
+  const LintReport exempt = run_with(timing);
+  for (const Diagnostic& d :
+       diags_for(exempt.diagnostics, "timing.hold-window")) {
+    EXPECT_NE(d.net, mult_.netlist.output_nets()[0]) << d.message;
+  }
+}
+
+TEST_F(LintTimingTest, HoldMarginTightensTheWindowRule) {
+  // With a huge margin even the slowest output's min arrival is "inside the
+  // window": every protected output must be flagged.
+  lint::TimingContext timing = safe_timing();
+  timing.check_hold = true;
+  timing.hold_margin_ps = 10.0 * aged_crit_;
+  const LintReport report = run_with(timing);
+  EXPECT_EQ(errors_for(report.diagnostics, "timing.hold-window"),
+            mult_.netlist.num_outputs());
+}
+
 // ---------------------------------------------------------------------------
 // Consistency rule
 // ---------------------------------------------------------------------------

@@ -2,12 +2,20 @@
 //
 // Lints generated multiplier netlists with the src/lint/ engine: structural
 // rules (driver table, pin arity, dead logic, bypass-pin exclusivity),
-// timing-safety rules (Razor coverage and AHL hold-count sufficiency over
-// the aged corner, via STA + the BTI aging model) and the functional
+// timing-safety rules (Razor coverage, AHL hold-count sufficiency and —
+// with --hold — min-corner shadow-window hold analysis over the aged sweep,
+// via the min/max multi-corner STA + the BTI aging model) and the functional
 // consistency rule (netlist vs golden multiply on seeded vectors).
 //
-// Exit codes: 0 = no error-severity diagnostics, 1 = at least one error,
-// 2 = usage error. See docs/LINT.md for the rule catalog and JSON schema.
+// --repair additionally runs the automatic hold-repair pass (delay-buffer
+// insertion on violating short paths), re-extracts the aging scenario on
+// the repaired netlist, re-lints it, and reports the inserted buffers plus
+// per-output margins before/after in the JSON.
+//
+// Exit codes: 0 = no error-severity diagnostics (post-repair when --repair
+// is given, which also requires the repair itself to be clean), 1 = at
+// least one error or a failed repair, 2 = usage error. See docs/LINT.md for
+// the rule catalog and JSON schema.
 
 #include <algorithm>
 #include <cmath>
@@ -25,6 +33,7 @@
 #include "src/aging/scenario.hpp"
 #include "src/core/calibration.hpp"
 #include "src/lint/engine.hpp"
+#include "src/lint/repair.hpp"
 #include "src/multiplier/multiplier.hpp"
 #include "src/report/json.hpp"
 #include "src/sim/sta.hpp"
@@ -47,6 +56,10 @@ struct Options {
   std::string json_path;  // empty = no JSON; "-" = stdout
   bool verbose = false;
   bool quiet = false;
+  bool hold = false;    // enable timing.hold-window
+  bool repair = false;  // run the hold-repair pass (implies hold)
+  double hold_margin_ps = 0.0;
+  double shadow_window_cycles = -1.0;  // < 0 = RazorConfig default
 };
 
 void print_usage(std::ostream& os) {
@@ -63,6 +76,17 @@ void print_usage(std::ostream& os) {
         "  --seed S         consistency-rule PRNG seed\n"
         "  --unprotect I    sever the Razor tap on output index I\n"
         "                   (repeatable; demonstrates the coverage rule)\n"
+        "  --hold           enable timing.hold-window: prove every Razor-\n"
+        "                   protected output's min-corner arrival clears the\n"
+        "                   shadow sampling window at every aging corner\n"
+        "  --hold-margin PS extra hold guard band beyond the window "
+        "(default: 0)\n"
+        "  --shadow-window C  shadow sampling window in cycles (default: "
+        "1.0)\n"
+        "  --repair         run the automatic hold-repair pass (implies\n"
+        "                   --hold): insert delay buffers on violating short\n"
+        "                   paths, prove logic equivalence, re-lint the\n"
+        "                   repaired netlist\n"
         "  --json PATH      write the diagnostics report as JSON ('-' = "
         "stdout)\n"
         "  --list-rules     print the rule catalog and exit\n"
@@ -124,6 +148,29 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       opt.verbose = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--hold") {
+      opt.hold = true;
+    } else if (arg == "--repair") {
+      opt.repair = true;
+      opt.hold = true;
+    } else if (arg == "--hold-margin") {
+      const auto v = need_value("--hold-margin");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.hold_margin_ps = std::atof(v->c_str());
+      if (opt.hold_margin_ps < 0.0) {
+        std::cerr << "aginglint: --hold-margin must be >= 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+    } else if (arg == "--shadow-window") {
+      const auto v = need_value("--shadow-window");
+      if (!v) { exit_code = 2; return std::nullopt; }
+      opt.shadow_window_cycles = std::atof(v->c_str());
+      if (opt.shadow_window_cycles <= 0.0) {
+        std::cerr << "aginglint: --shadow-window must be > 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
     } else if (arg == "--arch") {
       const auto v = need_value("--arch");
       if (!v) { exit_code = 2; return std::nullopt; }
@@ -206,6 +253,9 @@ struct TargetResult {
   std::size_t gates;
   std::size_t nets;
   lint::LintReport report;
+  bool repaired = false;
+  std::size_t errors_before_repair = 0;
+  lint::HoldRepairResult repair;
 };
 
 TargetResult lint_target(const Options& opt, const TechLibrary& tech,
@@ -215,13 +265,14 @@ TargetResult lint_target(const Options& opt, const TechLibrary& tech,
   result.width = width;
   result.name = std::string(arch_name(arch)) + std::to_string(width);
 
-  const MultiplierNetlist mult = build_multiplier(arch, width);
+  MultiplierNetlist mult = build_multiplier(arch, width);
   result.gates = mult.netlist.num_gates();
   result.nets = mult.netlist.num_nets();
 
   // One aging scenario per target, from the zero-cost analytic stress
   // profile (deterministic, no Monte-Carlo extraction on the CLI path).
-  const AgingScenario aging(mult.netlist, tech, BtiModel::calibrated(tech),
+  const BtiModel bti = BtiModel::calibrated(tech);
+  const AgingScenario aging(mult.netlist, tech, bti,
                             analytic_stress(mult.netlist));
 
   lint::TimingContext timing;
@@ -229,6 +280,11 @@ TargetResult lint_target(const Options& opt, const TechLibrary& tech,
   timing.aging = &aging;
   timing.sweep_years = opt.years;
   timing.max_hold_cycles = opt.hold_cycles;
+  timing.check_hold = opt.hold;
+  timing.hold_margin_ps = opt.hold_margin_ps;
+  if (opt.shadow_window_cycles > 0.0) {
+    timing.razor.shadow_window_cycles = opt.shadow_window_cycles;
+  }
   if (opt.period_ps > 0.0) {
     timing.period_ps = opt.period_ps;
   } else {
@@ -250,16 +306,40 @@ TargetResult lint_target(const Options& opt, const TechLibrary& tech,
     }
   }
 
-  lint::LintContext ctx;
-  ctx.netlist = &mult.netlist;
-  ctx.multiplier = &mult;
-  ctx.timing = &timing;
-  ctx.consistency.vectors = opt.vectors;
-  ctx.consistency.seed = opt.seed;
+  const auto run_lint = [&](const AgingScenario& scenario) {
+    lint::TimingContext t = timing;
+    t.aging = &scenario;
+    lint::LintContext ctx;
+    ctx.netlist = &mult.netlist;
+    ctx.multiplier = &mult;
+    ctx.timing = &t;
+    ctx.consistency.vectors = opt.vectors;
+    ctx.consistency.seed = opt.seed;
+    const lint::LintEngine engine;
+    return engine.run(ctx);
+  };
 
-  const lint::LintEngine engine;
-  result.report = engine.run(ctx);
+  result.report = run_lint(aging);
   result.period_ps = timing.period_ps;
+
+  if (opt.repair) {
+    result.repaired = true;
+    result.errors_before_repair = result.report.errors();
+    lint::HoldRepairConfig cfg;
+    cfg.equiv_vectors = opt.vectors;
+    cfg.equiv_seed = opt.seed;
+    result.repair = lint::repair_hold(mult.netlist, tech, timing, cfg);
+    result.gates = mult.netlist.num_gates();
+    result.nets = mult.netlist.num_nets();
+    // The original scenario's overlays are sized for the pre-repair gate
+    // count; re-extract aging on the repaired netlist (inserted buffers get
+    // real stress-derived scales) and re-lint. This final report — full
+    // structural + timing + consistency rule set on the repaired design —
+    // is what drives the exit code.
+    const AgingScenario repaired_aging(mult.netlist, tech, bti,
+                                       analytic_stress(mult.netlist));
+    result.report = run_lint(repaired_aging);
+  }
   return result;
 }
 
@@ -267,6 +347,17 @@ void print_target(const Options& opt, const TargetResult& t) {
   std::printf("%-6s %6zu gates, %6zu nets, T_clk %8.1f ps: %s\n",
               t.name.c_str(), t.gates, t.nets, t.period_ps,
               t.report.summary().c_str());
+  if (t.repaired) {
+    std::printf(
+        "  repair: %d buffer(s) in %d pass(es), %zu error(s) before, "
+        "hold %s, setup %s, equivalence %s\n",
+        t.repair.buffers_inserted, t.repair.passes, t.errors_before_repair,
+        t.repair.hold_clean ? "clean" : "VIOLATED",
+        t.repair.max_clean ? "clean" : "VIOLATED",
+        !t.repair.equivalence.checked ? "unchecked"
+        : t.repair.equivalence.ok()  ? "proved"
+                                     : "FAILED");
+  }
   if (opt.quiet) return;
   for (const lint::Diagnostic& d : t.report.diagnostics) {
     if (d.severity == lint::Severity::kInfo && !opt.verbose) continue;
@@ -292,6 +383,41 @@ std::string targets_json(const Options& opt,
     w.key("period_ps").value(t.period_ps);
     w.key("gates").value(static_cast<std::uint64_t>(t.gates));
     w.key("nets").value(static_cast<std::uint64_t>(t.nets));
+    if (t.repaired) {
+      const lint::HoldRepairResult& r = t.repair;
+      w.key("repair").begin_object();
+      w.key("window_ps").value(r.window_ps);
+      w.key("required_min_ps").value(r.required_min_ps);
+      w.key("passes").value(r.passes);
+      w.key("buffers_inserted").value(r.buffers_inserted);
+      w.key("errors_before").value(
+          static_cast<std::uint64_t>(t.errors_before_repair));
+      w.key("hold_clean").value(r.hold_clean);
+      w.key("max_clean").value(r.max_clean);
+      w.key("clean").value(r.clean());
+      w.key("equivalence").begin_object();
+      w.key("checked").value(r.equivalence.checked);
+      w.key("vectors").value(static_cast<std::uint64_t>(r.equivalence.vectors));
+      w.key("mismatches").value(
+          static_cast<std::uint64_t>(r.equivalence.mismatches));
+      w.key("ok").value(r.equivalence.ok());
+      w.end_object();
+      w.key("outputs").begin_array();
+      for (const lint::OutputHoldReport& o : r.outputs) {
+        w.begin_object();
+        w.key("name").value(o.name);
+        w.key("razor_protected").value(o.razor_protected);
+        w.key("buffers").value(o.buffers_inserted);
+        w.key("min_before_ps").value(o.min_before_ps);
+        w.key("max_before_ps").value(o.max_before_ps);
+        w.key("min_after_ps").value(o.min_after_ps);
+        w.key("max_after_ps").value(o.max_after_ps);
+        w.key("hold_ok_after").value(o.hold_ok_after);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
     w.key("report");
     t.report.write_json(w);
     w.end_object();
@@ -316,6 +442,11 @@ int main(int argc, char** argv) {
       targets.push_back(lint_target(*opt, tech, arch, width));
       print_target(*opt, targets.back());
       total_errors += targets.back().report.errors();
+      // A repair that left hold/setup dirty or failed its equivalence proof
+      // is a failure even when the post-repair report alone looks clean.
+      if (targets.back().repaired && !targets.back().repair.clean()) {
+        ++total_errors;
+      }
     }
   }
 
