@@ -1,39 +1,76 @@
 #!/usr/bin/env python3
 """One-shot agingd client for CI: send one framed JSON request, print the
-raw response payload bytes to stdout (docs/SERVING.md wire protocol).
+response payload bytes to stdout (docs/SERVING.md wire protocol).
 
-usage: serve_request.py SOCKET_PATH REQUEST_JSON [TIMEOUT_S]
+usage: serve_request.py [--stream] SOCKET_PATH REQUEST_JSON [TIMEOUT_S]
+
+Default mode reads exactly one response frame and prints its raw bytes.
+With --stream it keeps reading frames, printing each payload as one
+compact NDJSON line (payloads may contain pretty-printed JSON; compact
+re-serialization is deterministic, and each line is flushed immediately,
+so a killed reader leaves complete lines for every frame it received),
+until a frame without a "stream" key arrives — that final frame is the
+ordinary response carrying the resume cursor.
+
 exit:  0 response received · 1 transport failure / timeout
 """
+import json
 import socket
 import struct
 import sys
 
 
+def read_frame(sock: socket.socket) -> bytes | None:
+    header = b""
+    while len(header) < 4:
+        chunk = sock.recv(4 - len(header))
+        if not chunk:
+            return None
+        header += chunk
+    (length,) = struct.unpack("<I", header)
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            return None
+        payload += chunk
+    return payload
+
+
 def main() -> int:
-    path = sys.argv[1]
-    request = sys.argv[2].encode()
-    timeout = float(sys.argv[3]) if len(sys.argv) > 3 else 600.0
+    args = sys.argv[1:]
+    stream = False
+    if args and args[0] == "--stream":
+        stream = True
+        args = args[1:]
+    if len(args) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = args[0]
+    request = args[1].encode()
+    timeout = float(args[2]) if len(args) > 2 else 600.0
     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     sock.settimeout(timeout)
     try:
         sock.connect(path)
         sock.sendall(struct.pack("<I", len(request)) + request)
-        header = b""
-        while len(header) < 4:
-            chunk = sock.recv(4 - len(header))
-            if not chunk:
+        if not stream:
+            payload = read_frame(sock)
+            if payload is None:
                 return 1
-            header += chunk
-        (length,) = struct.unpack("<I", header)
-        payload = b""
-        while len(payload) < length:
-            chunk = sock.recv(length - len(payload))
-            if not chunk:
+            sys.stdout.buffer.write(payload)
+            return 0
+        while True:
+            payload = read_frame(sock)
+            if payload is None:
                 return 1
-            payload += chunk
-        sys.stdout.buffer.write(payload)
-        return 0
+            line = json.dumps(
+                json.loads(payload), separators=(",", ":")).encode()
+            sys.stdout.buffer.write(line + b"\n")
+            sys.stdout.buffer.flush()
+            # Progress frames carry "stream"; the final frame does not.
+            if b'"stream"' not in payload:
+                return 0
     except OSError as err:
         print(f"serve_request: {err}", file=sys.stderr)
         return 1

@@ -25,6 +25,61 @@ const CampaignMetrics& campaign_metrics() {
   return m;
 }
 
+// Shared between the final aggregation and the streaming progress path so
+// a partial snapshot at units_done = n+1 is byte-identical to a full run
+// over n trials — the streaming resume contract depends on the two never
+// diverging.
+struct TrialAccumulator {
+  FaultCampaignStats agg;
+  std::uint64_t total_cycles = 0;
+
+  explicit TrialAccumulator(FaultKind kind) { agg.kind = kind; }
+
+  void add_trial(const RunStats& s, std::uint64_t faults) {
+    ++agg.trials;
+    agg.ops += s.ops;
+    agg.faults_injected += faults;
+    agg.detected_violations += s.errors;
+    agg.escaped_violations += s.razor_escapes;
+    agg.uncovered_violations += s.undetected;
+    agg.sdc_ops += s.sdc_ops;
+    agg.masked_faults += s.masked_faults;
+    if (s.sdc_ops > 0) ++agg.trials_with_sdc;
+    agg.storm_engagements += s.storm_engagements;
+    agg.storm_recoveries += s.storm_recoveries;
+    total_cycles += s.total_cycles;
+  }
+
+  /// Aggregate with the derived fields filled in. `baseline` may be null
+  /// early in a streamed campaign (progress frames before unit 0 cannot
+  /// happen — unit 0 is first — but the guard keeps this total).
+  FaultCampaignStats finalize(const RunStats* baseline) const {
+    FaultCampaignStats out = agg;
+    if (baseline != nullptr) {
+      out.avg_cycles_baseline = baseline->avg_cycles;
+      out.baseline_errors_per_10k_ops = baseline->errors_per_10k_ops;
+    }
+    const std::uint64_t violations = out.detected_violations +
+                                     out.escaped_violations +
+                                     out.uncovered_violations;
+    out.detection_coverage =
+        violations == 0 ? 1.0
+                        : static_cast<double>(out.detected_violations) /
+                              static_cast<double>(violations);
+    if (out.ops > 0) {
+      out.sdc_per_10k_ops = static_cast<double>(out.sdc_ops) * 10000.0 /
+                            static_cast<double>(out.ops);
+      out.avg_cycles_faulty =
+          static_cast<double>(total_cycles) / static_cast<double>(out.ops);
+    }
+    if (out.avg_cycles_baseline > 0.0) {
+      out.throughput_degradation =
+          out.avg_cycles_faulty / out.avg_cycles_baseline - 1.0;
+    }
+    return out;
+  }
+};
+
 }  // namespace
 
 FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
@@ -110,8 +165,10 @@ FaultOverlay FaultCampaign::sample_overlay(Rng& rng,
 FaultCampaignStats FaultCampaign::run(
     std::span<const OperandPattern> patterns,
     std::span<const double> gate_delay_scale, double mean_dvth_v) const {
-  return run(patterns, CampaignRunOptions{.gate_delay_scale = gate_delay_scale,
-                                          .mean_dvth_v = mean_dvth_v});
+  CampaignRunOptions options;
+  options.gate_delay_scale = gate_delay_scale;
+  options.mean_dvth_v = mean_dvth_v;
+  return run(patterns, options);
 }
 
 std::uint64_t FaultCampaign::config_digest(
@@ -158,8 +215,6 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
   obs::TraceSpan run_span("campaign.run",
                           static_cast<std::uint64_t>(config_.trials));
   campaign_metrics().runs.add();
-  FaultCampaignStats agg;
-  agg.kind = config_.kind;
 
   // Overlay sampling draws from one shared Rng, so it stays serial (and
   // bit-identical to the historical single-threaded campaign); the trials
@@ -202,6 +257,7 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
   RunStats baseline;
   std::vector<RunStats> trial_stats;
   std::vector<char> trial_ok;
+  std::uint64_t quarantined = 0;
   if (options.runner == nullptr) {
     baseline = run_baseline();
     trial_stats = exec::parallel_for_indexed(overlays.size(), run_trial);
@@ -214,13 +270,38 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
     runtime::RunReport& report =
         options.report != nullptr ? *options.report : local_report;
     const std::size_t units = overlays.size() + 1;
+    // Streaming: decode each unit as it joins the completion frontier and
+    // hand the caller a running aggregate. The runner serializes progress
+    // calls and delivers units in strict unit order, so `acc` needs no
+    // locking and the partial at units_done = k covers exactly units
+    // [0, k) — unit 0 being the baseline.
+    runtime::RobustRunner::Progress runner_progress;
+    TrialAccumulator stream_acc(config_.kind);
+    RunStats stream_baseline;
+    bool stream_has_baseline = false;
+    if (options.progress) {
+      runner_progress = [&](std::uint64_t unit, const std::string& payload,
+                            runtime::UnitState) {
+        const RunStats s = runtime::decode_run_stats(payload);
+        if (unit == 0) {
+          stream_baseline = s;
+          stream_has_baseline = true;
+        } else {
+          stream_acc.add_trial(s, overlays[unit - 1].num_faults());
+        }
+        options.progress(
+            unit + 1, units,
+            stream_acc.finalize(stream_has_baseline ? &stream_baseline
+                                                    : nullptr));
+      };
+    }
     const auto payloads = options.runner->run(
         units,
         [&](std::uint64_t unit, const runtime::CancelToken&) {
           return runtime::encode_run_stats(unit == 0 ? run_baseline()
                                                      : run_trial(unit - 1));
         },
-        &report);
+        &report, runner_progress);
     if (report.interrupted()) {
       // A stop token cut the run short; completed units are checkpointed,
       // so the right move is resume, not aggregation over holes.
@@ -241,54 +322,23 @@ FaultCampaignStats FaultCampaign::run(std::span<const OperandPattern> patterns,
     trial_ok.assign(overlays.size(), 0);
     for (std::size_t t = 0; t < overlays.size(); ++t) {
       if (report.units[t + 1].state == runtime::UnitState::kQuarantined) {
-        ++agg.trials_quarantined;
+        ++quarantined;
         continue;
       }
       trial_stats[t] = runtime::decode_run_stats(payloads[t + 1]);
       trial_ok[t] = 1;
     }
   }
-  agg.avg_cycles_baseline = baseline.avg_cycles;
-  agg.baseline_errors_per_10k_ops = baseline.errors_per_10k_ops;
 
-  // Aggregation runs in trial-index order; every accumulator below is an
+  // Aggregation runs in trial-index order; every accumulator is an
   // integer, so the totals are independent of scheduling anyway.
-  std::uint64_t total_cycles = 0;
+  TrialAccumulator acc(config_.kind);
   for (std::size_t t = 0; t < trial_stats.size(); ++t) {
     if (trial_ok[t] == 0) continue;  // quarantined: contributes nothing
-    const RunStats& s = trial_stats[t];
-    const FaultOverlay& overlay = overlays[t];
-    ++agg.trials;
-    agg.ops += s.ops;
-    agg.faults_injected += overlay.num_faults();
-    agg.detected_violations += s.errors;
-    agg.escaped_violations += s.razor_escapes;
-    agg.uncovered_violations += s.undetected;
-    agg.sdc_ops += s.sdc_ops;
-    agg.masked_faults += s.masked_faults;
-    if (s.sdc_ops > 0) ++agg.trials_with_sdc;
-    agg.storm_engagements += s.storm_engagements;
-    agg.storm_recoveries += s.storm_recoveries;
-    total_cycles += s.total_cycles;
+    acc.add_trial(trial_stats[t], overlays[t].num_faults());
   }
-
-  const std::uint64_t violations = agg.detected_violations +
-                                   agg.escaped_violations +
-                                   agg.uncovered_violations;
-  agg.detection_coverage =
-      violations == 0 ? 1.0
-                      : static_cast<double>(agg.detected_violations) /
-                            static_cast<double>(violations);
-  if (agg.ops > 0) {
-    agg.sdc_per_10k_ops = static_cast<double>(agg.sdc_ops) * 10000.0 /
-                          static_cast<double>(agg.ops);
-    agg.avg_cycles_faulty =
-        static_cast<double>(total_cycles) / static_cast<double>(agg.ops);
-  }
-  if (agg.avg_cycles_baseline > 0.0) {
-    agg.throughput_degradation =
-        agg.avg_cycles_faulty / agg.avg_cycles_baseline - 1.0;
-  }
+  FaultCampaignStats agg = acc.finalize(&baseline);
+  agg.trials_quarantined = quarantined;
   return agg;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "src/core/vl_multiplier.hpp"
@@ -101,6 +102,18 @@ struct CampaignRunOptions {
   runtime::RobustRunner* runner = nullptr;
   /// Filled with per-unit outcomes when `runner` is given.
   runtime::RunReport* report = nullptr;
+  /// Incremental progress (crash-safe path only; requires `runner`).
+  /// Invoked in strict unit order as the completion frontier advances:
+  /// units_done counts finished units (unit 0 = baseline, so trials done
+  /// = units_done - 1 once > 0), units_total = trials + 1, and `partial`
+  /// aggregates the first units_done units. Deterministic: the partial
+  /// stats at a given units_done are a pure function of the campaign
+  /// config, independent of thread count or restore pattern — the
+  /// property the serving layer's streaming resume contract rests on
+  /// (docs/SERVING.md). Called from pool threads, serialized.
+  std::function<void(std::uint64_t units_done, std::uint64_t units_total,
+                     const FaultCampaignStats& partial)>
+      progress = {};
 };
 
 /// Drives fault-injection campaigns against one multiplier + system config.

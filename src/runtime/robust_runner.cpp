@@ -227,7 +227,8 @@ std::chrono::milliseconds RobustRunner::backoff_delay(
 }
 
 std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
-                                           RunReport* report) {
+                                           RunReport* report,
+                                           const Progress& progress) {
   obs::TraceSpan run_span("runner.run", n);
   RunReport local;
   RunReport& rep = report != nullptr ? *report : local;
@@ -248,6 +249,38 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
       pending.push_back(unit);
     }
   }
+
+  // Ordered progress frontier. Completions arrive in any order from the
+  // pool; the callback contract is strict unit order, so each completion
+  // marks its unit done and drains the contiguous prefix under one mutex.
+  // The mutex also publishes payloads[] writes from completing threads to
+  // the draining thread.
+  std::mutex progress_mutex;
+  std::vector<char> unit_done;
+  std::uint64_t frontier = 0;
+  const auto drain_frontier_locked = [&] {
+    while (frontier < n && unit_done[frontier] != 0) {
+      progress(frontier, payloads[frontier], rep.units[frontier].state);
+      ++frontier;
+    }
+  };
+  if (progress) {
+    unit_done.assign(n, 0);
+    for (std::uint64_t unit = 0; unit < n; ++unit) {
+      if (rep.units[unit].state == UnitState::kRestored) unit_done[unit] = 1;
+    }
+    // A resumed campaign replays its restored prefix immediately — this is
+    // the "re-attach and stream the tail" path of docs/SERVING.md (the
+    // caller filters against its resume cursor).
+    std::lock_guard lk(progress_mutex);
+    drain_frontier_locked();
+  }
+  const auto report_done = [&](std::uint64_t unit) {
+    if (!progress) return;
+    std::lock_guard lk(progress_mutex);
+    unit_done[unit] = 1;
+    drain_frontier_locked();
+  };
 
   // Chaos crash scheduling: die (std::_Exit) after a deterministic number
   // of freshly persisted units. Armed only with a checkpoint store — a
@@ -301,6 +334,7 @@ std::vector<std::string> RobustRunner::run(std::size_t n, const Task& task,
             std::_Exit(kCrashExitCode);
           }
         }
+        report_done(unit);
         return;
       } catch (const RunError& e) {
         watchdog.disarm(armed);

@@ -132,6 +132,18 @@ class RobustRunner {
   using Task =
       std::function<std::string(std::uint64_t unit, const CancelToken&)>;
 
+  /// Ordered completion-frontier callback: invoked once per unit in strict
+  /// unit order (0, 1, 2, …) as the contiguous done-prefix advances —
+  /// restored units interleaved with computed ones exactly where they sit.
+  /// A unit is reported only after its payload is durable (persisted when
+  /// a store is attached), so `unit` is always a safe resume cursor.
+  /// Invocations are serialized under an internal mutex but may come from
+  /// any pool thread. Quarantined/skipped units stall the frontier: units
+  /// past the first failure are never reported (the RunReport still covers
+  /// them). Keep the callback cheap — it holds up frontier advancement.
+  using Progress = std::function<void(
+      std::uint64_t unit, const std::string& payload, UnitState state)>;
+
   explicit RobustRunner(RunnerConfig config = {});
 
   /// Runs units [0, n); returns payloads in unit order (empty string for
@@ -139,7 +151,8 @@ class RobustRunner {
   /// instance in the same sense as ThreadPool::for_each_index: one run()
   /// at a time.
   std::vector<std::string> run(std::size_t n, const Task& task,
-                               RunReport* report = nullptr);
+                               RunReport* report = nullptr,
+                               const Progress& progress = {});
 
   const RunnerConfig& config() const noexcept { return config_; }
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/report/json.hpp"
+#include "src/serve/chaos.hpp"
 
 namespace agingsim::serve {
 namespace {
@@ -68,8 +69,20 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
   }
   return "?";
+}
+
+bool valid_client_id(std::string_view id) noexcept {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
 }
 
 bool known_method(std::string_view method) noexcept {
@@ -116,6 +129,13 @@ std::optional<Request> parse_request(std::string_view payload,
   req.method = method->as_string();
   req.priority = info->priority;
   req.deadline_ms = deadline_ms;
+  if (const JsonValue* client = doc->find("client_id")) {
+    if (!client->is_string() || !valid_client_id(client->as_string())) {
+      return reject(id,
+                    "client_id wants 1..64 chars of [A-Za-z0-9._-]");
+    }
+    req.client_id = client->as_string();
+  }
   if (const JsonValue* params = doc->find("params")) {
     if (!params->is_object()) return reject(id, "params must be an object");
     req.params = *params;
@@ -147,6 +167,23 @@ std::string error_response(std::uint64_t id, ErrorCode code,
   out += std::to_string(id);
   out += ", \"ok\": false, \"error\": ";
   out += body.str();
+  out += "}";
+  return out;
+}
+
+std::string stream_frame(std::uint64_t id, std::uint64_t seq,
+                         std::uint64_t units_done, std::uint64_t units_total,
+                         std::string_view partial_stats_json) {
+  std::string out = "{\"id\": ";
+  out += std::to_string(id);
+  out += ", \"stream\": ";
+  out += std::to_string(seq);
+  out += ", \"units_done\": ";
+  out += std::to_string(units_done);
+  out += ", \"units_total\": ";
+  out += std::to_string(units_total);
+  out += ", \"partial_stats\": ";
+  out += partial_stats_json;
   out += "}";
   return out;
 }
@@ -191,17 +228,31 @@ bool write_frame_fd(int fd, std::string_view payload, std::string* error) {
     if (error != nullptr) *error = "payload exceeds kMaxFrameBytes";
     return false;
   }
+  // Chaos disconnect: write a deterministic prefix (at most half the
+  // frame, so it always ends mid-frame), then shut the socket down hard.
+  if (chaos_drop_write()) {
+    const std::size_t prefix = frame.size() / 2;
+    std::size_t sent = 0;
+    while (sent < prefix) {
+      const ssize_t n =
+          ::send(fd, frame.data() + sent, prefix - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_RDWR);
+    if (error != nullptr) *error = "chaos: mid-frame disconnect";
+    return false;
+  }
   // MSG_NOSIGNAL: a reply racing a client disconnect must fail with EPIPE,
   // not kill the process — the connection may outlive its peer while a
   // queued Job still holds it. Falls back to write(2) for non-socket fds.
   std::size_t done = 0;
   bool is_socket = true;
   while (done < frame.size()) {
+    const std::size_t chunk = chaos_write_chunk(frame.size() - done);
     const ssize_t n =
-        is_socket
-            ? ::send(fd, frame.data() + done, frame.size() - done,
-                     MSG_NOSIGNAL)
-            : ::write(fd, frame.data() + done, frame.size() - done);
+        is_socket ? ::send(fd, frame.data() + done, chunk, MSG_NOSIGNAL)
+                  : ::write(fd, frame.data() + done, chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (is_socket && errno == ENOTSOCK) {
@@ -221,7 +272,7 @@ std::optional<std::string> read_frame_fd(int fd, std::string* error) {
                               bool eof_ok) -> int {
     std::size_t done = 0;
     while (done < want) {
-      const ssize_t n = ::read(fd, out + done, want - done);
+      const ssize_t n = ::read(fd, out + done, chaos_read_clamp(want - done));
       if (n < 0) {
         if (errno == EINTR) continue;
         if (error != nullptr) *error = std::strerror(errno);

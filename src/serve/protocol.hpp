@@ -10,10 +10,16 @@
 // frame only fails that one request.
 //
 // Requests:  {"id": 7, "method": "query", "deadline_ms": 2000,
-//             "params": {...}}
+//             "client_id": "ci-paced", "params": {...}}
 // Responses: {"id": 7, "ok": true,  "result": {...}}
 //            {"id": 7, "ok": false, "error": {"code": "overloaded",
 //             "message": "...", "retry_after_ms": 40}}
+// Streaming: a campaign with "stream": true in its params additionally
+// emits zero or more progress frames before the final response:
+//            {"id": 7, "stream": 3, "units_done": 3, "units_total": 9,
+//             "partial_stats": {...}}
+// Progress frames always carry a "stream" key; the final frame never
+// does, so clients read frames until the first one without it.
 //
 // Methods fall into three priority classes that drive admission control
 // (src/serve/admission.hpp): control-plane requests (health, status,
@@ -53,6 +59,7 @@ enum class ErrorCode {
   kTimeout,      ///< per-request deadline expired (queued or running)
   kCancelled,    ///< cancelled by shutdown while in flight
   kInternal,     ///< handler threw; message carries the what()
+  kQuotaExceeded,  ///< per-client token bucket empty — retry after hint
 };
 
 std::string_view error_code_name(ErrorCode code) noexcept;
@@ -65,8 +72,16 @@ struct Request {
   Priority priority = Priority::kNormal;
   /// Total budget from admission to response; 0 = server default.
   std::int64_t deadline_ms = 0;
+  /// Fairness identity for quota/DRR accounting. Optional: empty means the
+  /// server falls back to the connection's synthetic identity. Validated
+  /// to 1..64 chars of [A-Za-z0-9._-] so identities are safe to echo into
+  /// status JSON and logs.
+  std::string client_id;
   JsonValue params;  ///< object (possibly empty)
 };
+
+/// True when `id` is a well-formed client identity (see Request::client_id).
+bool valid_client_id(std::string_view id) noexcept;
 
 /// Envelope validation: parses the frame payload, resolves the method's
 /// priority class, extracts id/deadline. On failure returns nullopt and
@@ -86,6 +101,13 @@ std::string ok_response(std::uint64_t id, std::string_view result_json);
 std::string error_response(std::uint64_t id, ErrorCode code,
                            std::string_view message,
                            std::int64_t retry_after_ms = -1);
+/// Campaign progress frame. `seq` is the campaign's completion frontier
+/// (units done), NOT a per-connection counter — that makes the frame
+/// stream a pure function of campaign progress, so bytes from a dropped
+/// run concatenated with a resumed tail equal an uninterrupted run's.
+std::string stream_frame(std::uint64_t id, std::uint64_t seq,
+                         std::uint64_t units_done, std::uint64_t units_total,
+                         std::string_view partial_stats_json);
 
 /// Length-prefix helpers on raw byte strings (pure, testable without a
 /// socket). encode_frame refuses payloads over kMaxFrameBytes.
@@ -101,6 +123,12 @@ class FrameDecoder {
   /// Pops the next complete frame payload, if any.
   std::optional<std::string> next();
   bool poisoned() const noexcept { return poisoned_; }
+  /// True while a frame is partially buffered (length prefix or payload
+  /// incomplete). Drives the server's read deadline: a connection may sit
+  /// idle between frames forever, but once a frame starts it must finish
+  /// within the deadline (the slow-loris defence).
+  bool mid_frame() const noexcept { return !buffer_.empty(); }
+  std::size_t buffered() const noexcept { return buffer_.size(); }
 
  private:
   std::string buffer_;

@@ -14,6 +14,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/report/json.hpp"
+#include "src/serve/chaos.hpp"
 
 namespace agingsim::serve {
 namespace {
@@ -37,6 +38,24 @@ struct ServerMetrics {
   const obs::Counter& timed_out = obs::counter("serve.timed_out", false);
   const obs::Counter& cancelled = obs::counter("serve.cancelled", false);
   const obs::Counter& bad_request = obs::counter("serve.bad_request", false);
+  const obs::Counter& rejected_quota =
+      obs::counter("serve.rejected_quota", false);
+  const obs::Counter& rejected_inflight_cap =
+      obs::counter("serve.rejected_inflight_cap", false);
+  const obs::Counter& read_deadline_closed =
+      obs::counter("serve.read_deadline_closed", false);
+  const obs::Counter& idle_closed = obs::counter("serve.idle_closed", false);
+  const obs::Counter& poisoned_streams =
+      obs::counter("serve.poisoned_streams", false);
+  const obs::Counter& stream_frames =
+      obs::counter("serve.stream_frames", false);
+  // Per-client accepted/completed aggregates; the per-identity split lives
+  // in `status` (metric names are registered for the process lifetime, so
+  // client_ids — unbounded, client-chosen — must not become metric names).
+  const obs::Counter& client_accepted =
+      obs::counter("serve.client.accepted", false);
+  const obs::Counter& client_completed =
+      obs::counter("serve.client.completed", false);
   const obs::Gauge& queue_depth = obs::gauge("serve.queue_depth", false);
   const obs::Histogram& request_us =
       obs::histogram("serve.request_us", kLatencyBucketsUs, false);
@@ -61,6 +80,7 @@ void count_rejection(ErrorCode code) {
     case ErrorCode::kShedRefill: m.shed_refill.add(); break;
     case ErrorCode::kShedBatch: m.shed_batch.add(); break;
     case ErrorCode::kDraining: m.rejected_draining.add(); break;
+    case ErrorCode::kQuotaExceeded: m.rejected_quota.add(); break;
     default: break;
   }
 }
@@ -303,6 +323,7 @@ void Server::listener_loop() {
     server_metrics().connections.add();
     auto conn = std::make_shared<Connection>();
     conn->fd = client;
+    conn->peer_id = "conn-" + std::to_string(++conn_counter_);
     {
       std::lock_guard lk(conns_mutex_);
       std::erase_if(conns_, [](const auto& w) { return w.expired(); });
@@ -349,22 +370,119 @@ void Server::reap_connection_threads() {
 }
 
 void Server::connection_loop(std::shared_ptr<Connection> conn) {
-  for (;;) {
-    std::optional<std::string> payload = read_frame_fd(conn->fd);
-    if (!payload.has_value()) break;  // EOF, poisoned stream, or shutdown
+  // poll(2)-paced incremental reads through a FrameDecoder instead of a
+  // blocking read_frame_fd: the blocking read gave a slow-loris client —
+  // one that sends a partial length prefix and stalls — a parked server
+  // thread for free, forever. Now a frame that starts must finish within
+  // read_deadline_ms, and (opt-in) a fully idle connection expires after
+  // idle_timeout_ms.
+  using Clock = std::chrono::steady_clock;
+  FrameDecoder decoder;
+  std::optional<Clock::time_point> frame_deadline;
+  Clock::time_point last_activity = Clock::now();
+  char buf[4096];
+
+  // One frame through parse/control/dispatch; false ends the connection.
+  const auto process = [&](const std::string& payload) -> bool {
     std::string bad_request_body;
     std::optional<Request> request =
-        parse_request(*payload, &bad_request_body);
+        parse_request(payload, &bad_request_body);
     if (!request.has_value()) {
       server_metrics().bad_request.add();
-      if (!conn->send(bad_request_body)) break;
-      continue;
+      return conn->send(bad_request_body);
     }
     if (request->priority == Priority::kControl) {
       handle_control(*conn, *request);
-      continue;
+      return true;
+    }
+    const std::uint32_t cap = config_.max_inflight_per_conn;
+    if (cap != 0 &&
+        conn->inflight.load(std::memory_order_acquire) >= cap) {
+      server_metrics().rejected_inflight_cap.add();
+      return conn->send(error_response(
+          request->id, ErrorCode::kOverloaded,
+          "per-connection in-flight cap (" + std::to_string(cap) +
+              ") reached; wait for responses before pipelining more",
+          queue_.config().retry_after_min_ms));
     }
     dispatch_queueable(*conn, conn, std::move(*request));
+    return true;
+  };
+
+  for (;;) {
+    bool send_failed = false;
+    while (auto payload = decoder.next()) {
+      if (!process(*payload)) {
+        send_failed = true;
+        break;
+      }
+    }
+    if (send_failed) break;
+    if (decoder.poisoned()) {
+      server_metrics().poisoned_streams.add();
+      break;
+    }
+    if (decoder.mid_frame()) {
+      if (!frame_deadline.has_value() && config_.read_deadline_ms > 0) {
+        frame_deadline =
+            Clock::now() + std::chrono::milliseconds(config_.read_deadline_ms);
+      }
+    } else {
+      frame_deadline.reset();
+    }
+
+    Clock::time_point wake = Clock::time_point::max();
+    if (frame_deadline.has_value()) wake = *frame_deadline;
+    const bool idle_eligible =
+        config_.idle_timeout_ms > 0 && !decoder.mid_frame() &&
+        conn->inflight.load(std::memory_order_acquire) == 0;
+    if (idle_eligible) {
+      wake = std::min(wake, last_activity + std::chrono::milliseconds(
+                                                config_.idle_timeout_ms));
+    }
+    int timeout_ms = -1;
+    if (wake != Clock::time_point::max()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          wake - Clock::now());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(left.count(), 0));
+    }
+
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      const auto now = Clock::now();
+      if (frame_deadline.has_value() && now >= *frame_deadline) {
+        // Slow loris: the frame did not complete in time. Closing is the
+        // only honest response — mid-frame there is no valid request id to
+        // address an error to.
+        server_metrics().read_deadline_closed.add();
+        break;
+      }
+      if (idle_eligible && now >= last_activity + std::chrono::milliseconds(
+                                                      config_.idle_timeout_ms)) {
+        server_metrics().idle_closed.add();
+        break;
+      }
+      continue;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    // Chaos may clamp the request to a few bytes — exactly the adversarial
+    // delivery pattern the decoder must be indifferent to.
+    const ssize_t n = ::read(conn->fd, buf, chaos_read_clamp(sizeof buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF (or shutdown_read from drain)
+    last_activity = Clock::now();
+    if (!decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      server_metrics().poisoned_streams.add();
+      break;
+    }
   }
   // No close here: queued/in-flight Jobs may still hold the Connection and
   // reply later. Dropping this thread's reference lets ~Connection close
@@ -417,6 +535,20 @@ std::string Server::status_json() const {
           std::chrono::duration_cast<std::chrono::milliseconds>(
               std::chrono::steady_clock::now() - started_at_)
               .count()));
+  json.key("clients").begin_array();
+  for (const ClientSnapshot& c : queue_.clients()) {
+    json.begin_object();
+    json.key("id").value(c.id);
+    json.key("queued").value(static_cast<std::uint64_t>(c.queued));
+    json.key("accepted").value(c.accepted);
+    json.key("completed").value(c.completed);
+    json.key("rejected_quota").value(c.rejected_quota);
+    if (config_.admission.fairness.quota_rate_per_s > 0.0) {
+      json.key("tokens").value(c.tokens);
+    }
+    json.end_object();
+  }
+  json.end_array();
   json.key("cache").begin_object();
   json.key("entries").value(static_cast<std::uint64_t>(cs.entries));
   json.key("bytes").value(static_cast<std::uint64_t>(cs.bytes));
@@ -446,6 +578,8 @@ void Server::dispatch_queueable(Connection& conn,
 
   Job job;
   job.request = std::move(request);
+  job.client = job.request.client_id.empty() ? conn.peer_id
+                                             : job.request.client_id;
   job.conn = std::move(self);
   job.token = std::make_shared<runtime::CancelToken>();
   job.enqueued = std::chrono::steady_clock::now();
@@ -458,10 +592,11 @@ void Server::dispatch_queueable(Connection& conn,
 
   const std::uint64_t id = job.request.id;
   const Priority priority = job.request.priority;
+  const std::string client = job.client;
   auto token = job.token;
   const auto deadline = job.deadline;
   const AdmissionDecision decision =
-      queue_.try_push(std::move(job), priority, needs_refill);
+      queue_.try_push(std::move(job), priority, needs_refill, client);
   if (!decision.admitted) {
     count_rejection(decision.reason);
     conn.send(error_response(id, decision.reason,
@@ -470,7 +605,9 @@ void Server::dispatch_queueable(Connection& conn,
                              decision.retry_after_ms));
     return;
   }
+  conn.inflight.fetch_add(1, std::memory_order_acq_rel);
   server_metrics().accepted.add();
+  server_metrics().client_accepted.add();
   server_metrics().queue_depth.record(
       static_cast<std::int64_t>(queue_.depth()));
   if (deadline != std::chrono::steady_clock::time_point::max()) {
@@ -500,7 +637,18 @@ void Server::worker_loop() {
           timed_out ? ErrorCode::kTimeout : ErrorCode::kCancelled,
           timed_out ? "deadline expired while queued" : "cancelled by drain");
     } else {
-      HandlerResult result = service_.handle(job->request, *job->token);
+      // Streaming: progress frames go out on the job's connection under
+      // its write mutex, interleaving cleanly with control replies. A
+      // failed frame write reports the client gone; the service finishes
+      // the campaign anyway (units checkpoint for the re-attach).
+      const Service::StreamEmitter emitter =
+          [&job](const std::string& payload) {
+            const bool sent = job->conn->send(payload);
+            if (sent) server_metrics().stream_frames.add();
+            return sent;
+          };
+      HandlerResult result = service_.handle(job->request, *job->token,
+                                             emitter);
       const auto finished = std::chrono::steady_clock::now();
       if (result.ok) {
         server_metrics().completed.add();
@@ -527,8 +675,11 @@ void Server::worker_loop() {
     server_metrics().request_us.observe(us_between(job->enqueued, done));
     queue_.record_service_ms(
         std::chrono::duration<double, std::milli>(done - started).count());
+    queue_.record_done(job->client);
+    server_metrics().client_completed.add();
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     job->conn->send(response);
+    job->conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
   }
 }
 

@@ -47,6 +47,18 @@ struct ServerConfig {
   /// How long drain waits for queued + in-flight work before cancelling.
   std::int64_t drain_grace_ms = 5'000;
   std::size_t cache_budget_bytes = 64u << 20;
+  /// Once a frame *starts* arriving it must complete within this window,
+  /// or the connection is closed — the slow-loris defence (a client may
+  /// idle between frames forever, but never mid-frame). 0 disables.
+  std::int64_t read_deadline_ms = 10'000;
+  /// Closes connections idle (no partial frame, nothing in flight) longer
+  /// than this. 0 (default) keeps the historical behaviour: idle
+  /// connections live until the peer hangs up or the daemon drains.
+  std::int64_t idle_timeout_ms = 0;
+  /// Per-connection cap on queued + running requests; pipelining past it
+  /// is rejected with `overloaded` before touching the admission queue.
+  /// 0 disables.
+  std::uint32_t max_inflight_per_conn = 32;
   ServiceConfig service{};
 };
 
@@ -116,6 +128,11 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
+    /// Fallback fairness identity for requests without a `client_id`
+    /// ("conn-<n>"): anonymous clients are then fair per connection.
+    std::string peer_id;
+    /// Queued + running requests from this connection (the pipelining cap).
+    std::atomic<std::uint32_t> inflight{0};
     std::mutex write_mutex;
     /// The fd closes only when the last shared_ptr drops: queued and
     /// in-flight Jobs hold references, so a worker's late reply can never
@@ -130,6 +147,7 @@ class Server {
 
   struct Job {
     Request request;
+    std::string client;  ///< resolved fairness identity
     std::shared_ptr<Connection> conn;
     std::shared_ptr<runtime::CancelToken> token;
     std::chrono::steady_clock::time_point enqueued;
@@ -162,6 +180,7 @@ class Server {
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
+  std::uint64_t conn_counter_ = 0;  ///< listener thread only
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
   std::atomic<std::uint64_t> in_flight_{0};

@@ -233,12 +233,13 @@ std::optional<std::uint64_t> Service::query_cache_key(
 }
 
 HandlerResult Service::handle(const Request& request,
-                              const runtime::CancelToken& cancel) noexcept {
+                              const runtime::CancelToken& cancel,
+                              const StreamEmitter& emit) noexcept {
   try {
     obs::TraceSpan span("serve.handle", request.id);
     if (request.method == "query") return handle_query(request.params, cancel);
     if (request.method == "campaign") {
-      return handle_campaign(request.params, cancel);
+      return handle_campaign(request, cancel, emit);
     }
     if (request.method == "work") return handle_work(request.params, cancel);
     return bad_request("method '" + request.method +
@@ -314,8 +315,10 @@ HandlerResult Service::handle_query(const JsonValue& params,
   return ok_result(json.str());
 }
 
-HandlerResult Service::handle_campaign(const JsonValue& params,
-                                       const runtime::CancelToken& cancel) {
+HandlerResult Service::handle_campaign(const Request& request,
+                                       const runtime::CancelToken& cancel,
+                                       const StreamEmitter& emit) {
+  const JsonValue& params = request.params;
   service_metrics().campaigns.add();
   const auto reject = [](const std::string& m) { return bad_request(m); };
 
@@ -351,6 +354,28 @@ HandlerResult Service::handle_campaign(const JsonValue& params,
   const bool checkpoint =
       params.bool_or("checkpoint", !config_.checkpoint_root.empty());
 
+  // Streaming + resume (docs/SERVING.md). The cursor's unit_index counts
+  // finished work units (unit 0 = baseline), so valid values span
+  // [0, trials + 1]; its digest must match this campaign's — a cursor
+  // from a different configuration is a client bug, not a tail to skip.
+  const bool stream = params.bool_or("stream", false);
+  const std::int64_t stream_every = params.i64_or("stream_every", 1);
+  if (stream_every < 1) return reject("stream_every must be >= 1");
+  std::uint64_t cursor_units = 0;
+  std::string cursor_digest;
+  if (const JsonValue* rc = params.find("resume_cursor")) {
+    if (!rc->is_object()) return reject("resume_cursor must be an object");
+    cursor_digest = rc->str_or("digest", "");
+    if (cursor_digest.empty()) {
+      return reject("resume_cursor needs a string 'digest'");
+    }
+    const std::int64_t index = rc->i64_or("unit_index", -1);
+    if (index < 0 || index > trials + 1) {
+      return reject("resume_cursor.unit_index must be in [0, trials + 1]");
+    }
+    cursor_units = static_cast<std::uint64_t>(index);
+  }
+
   const MultiplierNetlist mult =
       build_multiplier(*arch, static_cast<int>(width));
   const double crit = critical_path_ps(mult, tech_);
@@ -379,6 +404,11 @@ HandlerResult Service::handle_campaign(const JsonValue& params,
   std::optional<runtime::CheckpointStore> store;
   std::unique_lock<std::mutex> digest_lock;  // held through campaign.run
   const std::uint64_t digest = campaign.config_digest(patterns);
+  if (!cursor_digest.empty() && cursor_digest != digest_hex(digest)) {
+    return reject("resume_cursor.digest '" + cursor_digest +
+                  "' does not match this campaign (" + digest_hex(digest) +
+                  ")");
+  }
   if (checkpoint && !config_.checkpoint_root.empty()) {
     digest_lock = std::unique_lock(campaign_digest_mutex(digest));
     // Resume-by-default: the store is keyed by the campaign digest, so a
@@ -398,10 +428,39 @@ HandlerResult Service::handle_campaign(const JsonValue& params,
 
   runtime::RobustRunner runner(runner_config);
   runtime::RunReport report;
+  CampaignRunOptions run_options;
+  run_options.runner = &runner;
+  run_options.report = &report;
+  // Progress frames, emitted in strict frontier order: seq equals
+  // units_done, so the frame stream is a pure function of campaign
+  // progress — a dropped client's pre-drop bytes concatenated with the
+  // resumed tail equal an uninterrupted run's bytes. Frames at or below
+  // the resume cursor are suppressed (the client already has them); a
+  // failed emit stops frames but never the campaign, whose units keep
+  // checkpointing for the re-attach.
+  bool client_gone = false;
+  if (stream && emit) {
+    run_options.progress = [&](std::uint64_t units_done,
+                               std::uint64_t units_total,
+                               const FaultCampaignStats& partial) {
+      if (client_gone || units_done <= cursor_units) return;
+      if (units_done % static_cast<std::uint64_t>(stream_every) != 0 &&
+          units_done != units_total) {
+        return;
+      }
+      JsonWriter pj;
+      pj.begin_object();
+      emit_campaign_stats(pj, partial);
+      pj.end_object();
+      if (!emit(stream_frame(request.id, units_done, units_done, units_total,
+                             pj.str()))) {
+        client_gone = true;
+      }
+    };
+  }
   FaultCampaignStats stats;
   try {
-    stats = campaign.run(
-        patterns, CampaignRunOptions{.runner = &runner, .report = &report});
+    stats = campaign.run(patterns, run_options);
   } catch (const runtime::RunError& e) {
     if (cancel.cancelled() || report.interrupted()) {
       return cancelled_result(cancel, "campaign");
@@ -425,6 +484,14 @@ HandlerResult Service::handle_campaign(const JsonValue& params,
   json.key("seed").value(seed);
   json.key("period_ps").value(cfg.period_ps);
   json.key("campaign_digest").value(digest_hex(digest));
+  // Always present (streamed or not): where a future request would resume.
+  // unit_index = trials + 1 marks a finished campaign — re-attaching with
+  // it streams nothing and returns this same final response.
+  json.key("resume_cursor").begin_object();
+  json.key("digest").value(digest_hex(digest));
+  json.key("unit_index")
+      .value(static_cast<std::int64_t>(trials + 1));
+  json.end_object();
   json.key("stats").begin_object();
   emit_campaign_stats(json, stats);
   json.end_object();

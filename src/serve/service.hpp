@@ -7,6 +7,7 @@
 // surface is testable in-process.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -54,11 +55,20 @@ class Service {
  public:
   Service(ServiceConfig config, AgedStateCache* cache);
 
+  /// Delivers one streaming progress frame payload (a complete JSON
+  /// document; see protocol.hpp stream_frame) to the client. Returns
+  /// false when the client is gone — emission stops but the work runs to
+  /// completion, because every finished unit is checkpointed and the
+  /// client re-attaches with its resume cursor.
+  using StreamEmitter = std::function<bool(const std::string& payload)>;
+
   /// Executes one queued (non-control) request. `cancel` is the request's
   /// cancellation token: armed by the server's deadline watchdog and by
-  /// drain. Never throws — failures come back as HandlerResult errors.
+  /// drain. `emit` (optional) enables streaming for campaigns that ask
+  /// for it. Never throws — failures come back as HandlerResult errors.
   HandlerResult handle(const Request& request,
-                       const runtime::CancelToken& cancel) noexcept;
+                       const runtime::CancelToken& cancel,
+                       const StreamEmitter& emit = {}) noexcept;
 
   /// Cache key of a query request, or nullopt when the params are invalid
   /// (validation then happens in handle()). The admission path uses this
@@ -70,8 +80,9 @@ class Service {
  private:
   HandlerResult handle_query(const JsonValue& params,
                              const runtime::CancelToken& cancel);
-  HandlerResult handle_campaign(const JsonValue& params,
-                                const runtime::CancelToken& cancel);
+  HandlerResult handle_campaign(const Request& request,
+                                const runtime::CancelToken& cancel,
+                                const StreamEmitter& emit);
   HandlerResult handle_work(const JsonValue& params,
                             const runtime::CancelToken& cancel);
 

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -625,6 +626,84 @@ TEST(RobustRunnerTest, StopTokenCancelsInFlightAttemptsCooperatively) {
       << "in-flight attempt was not cancelled by the stop token";
   EXPECT_EQ(report.computed, 0u);
   EXPECT_FALSE(report.all_ok());
+}
+
+// --- ordered progress reporting (streaming campaigns) --------------------
+
+TEST(RobustRunnerTest, ProgressFiresInStrictUnitOrderWithPayloads) {
+  RobustRunner runner(fast_config());
+  std::vector<std::uint64_t> order;
+  std::vector<std::string> seen;
+  const auto payloads = runner.run(
+      16,
+      [](std::uint64_t unit, const CancelToken&) {
+        return "p-" + std::to_string(unit);
+      },
+      nullptr,
+      [&](std::uint64_t unit, const std::string& payload, UnitState state) {
+        order.push_back(unit);
+        seen.push_back(payload);
+        EXPECT_EQ(state, UnitState::kComputed);
+      });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::uint64_t unit = 0; unit < 16; ++unit) {
+    EXPECT_EQ(order[unit], unit);  // the completion frontier, never a skip
+    EXPECT_EQ(seen[unit], payloads[unit]);
+  }
+}
+
+TEST(RobustRunnerTest, ProgressReplaysRestoredUnitsOnResume) {
+  TempDir dir("progress_resume");
+  CheckpointStore store(dir.path(), 0xABu);
+  store.persist(0, "restored-0");
+  store.persist(1, "restored-1");
+  store.load();
+  RunnerConfig config = fast_config();
+  config.checkpoints = &store;
+  std::vector<std::pair<std::uint64_t, UnitState>> events;
+  RobustRunner(config).run(
+      4,
+      [](std::uint64_t unit, const CancelToken&) {
+        return "computed-" + std::to_string(unit);
+      },
+      nullptr,
+      [&](std::uint64_t unit, const std::string&, UnitState state) {
+        events.emplace_back(unit, state);
+      });
+  // Restored units replay through the callback immediately (in order),
+  // then the frontier advances through the computed tail — a resumed
+  // streaming client sees the same event sequence as an uninterrupted one.
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], (std::pair<std::uint64_t, UnitState>{
+                           0, UnitState::kRestored}));
+  EXPECT_EQ(events[1], (std::pair<std::uint64_t, UnitState>{
+                           1, UnitState::kRestored}));
+  EXPECT_EQ(events[2], (std::pair<std::uint64_t, UnitState>{
+                           2, UnitState::kComputed}));
+  EXPECT_EQ(events[3], (std::pair<std::uint64_t, UnitState>{
+                           3, UnitState::kComputed}));
+}
+
+TEST(RobustRunnerTest, ProgressFrontierStallsAtQuarantinedUnit) {
+  RunnerConfig config = fast_config();
+  config.max_retries = 0;
+  RobustRunner runner(config);
+  std::vector<std::uint64_t> order;
+  runner.run(
+      6,
+      [](std::uint64_t unit, const CancelToken&) -> std::string {
+        if (unit == 3) throw RunError(ErrorCategory::kPermanent, "poison");
+        return "ok";
+      },
+      nullptr,
+      [&](std::uint64_t unit, const std::string&, UnitState) {
+        order.push_back(unit);
+      });
+  // Units past the quarantined one must NOT be reported: their indices
+  // would be unsafe resume cursors (unit 3 never completed). The final
+  // response still carries the full report; only the stream stalls.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2}));
 }
 
 TEST(RunReportTest, SummaryMentionsSkippedUnits) {

@@ -130,5 +130,234 @@ TEST(ServeAdmission, ServiceTimeEwmaFeedsHint) {
   EXPECT_NEAR(q.avg_service_ms(), 80.0, 1e-9);  // alpha = 0.2
 }
 
+// --- tier-transition edges -------------------------------------------------
+
+TEST(ServeAdmission, TierBoundariesAreInclusive) {
+  // Exactly 50% and exactly 80% occupancy land *in* the higher tier: the
+  // thresholds are >=, not >.
+  const AdmissionConfig c = small_config();  // capacity 10
+  EXPECT_EQ(degradation_tier(c, 5), 1);      // 5/10 == shed_refill_frac
+  EXPECT_EQ(degradation_tier(c, 8), 2);      // 8/10 == shed_batch_frac
+  EXPECT_FALSE(admit(c, Priority::kNormal, true, 5, 1.0).admitted);
+  EXPECT_FALSE(admit(c, Priority::kBatch, false, 8, 1.0).admitted);
+  // One below each threshold stays in the lower tier.
+  EXPECT_TRUE(admit(c, Priority::kNormal, true, 4, 1.0).admitted);
+  EXPECT_TRUE(admit(c, Priority::kBatch, false, 7, 1.0).admitted);
+}
+
+TEST(ServeAdmission, TierBoundariesWithOddCapacity) {
+  // Non-integer fractional thresholds: capacity 7, 50% = 3.5 requests.
+  AdmissionConfig c = small_config();
+  c.capacity = 7;
+  EXPECT_EQ(degradation_tier(c, 3), 0);  // 3/7 ≈ 0.43 < 0.5
+  EXPECT_EQ(degradation_tier(c, 4), 1);  // 4/7 ≈ 0.57 >= 0.5
+  EXPECT_EQ(degradation_tier(c, 5), 1);  // 5/7 ≈ 0.71 < 0.8
+  EXPECT_EQ(degradation_tier(c, 6), 2);  // 6/7 ≈ 0.86 >= 0.8
+}
+
+TEST(ServeAdmission, RetryAfterClampEdges) {
+  // The clamp bounds are [10 ms, 2 s] by default, hit exactly.
+  const AdmissionConfig c = small_config();
+  EXPECT_EQ(c.retry_after_min_ms, 10);
+  EXPECT_EQ(c.retry_after_max_ms, 2000);
+  // depth * avg below the floor: the floor stands.
+  EXPECT_EQ(admit(c, Priority::kNormal, false, c.capacity, 0.5)
+                .retry_after_ms,
+            10);
+  // Exactly at the ceiling: depth 10 * 200 ms = 2000 ms.
+  EXPECT_EQ(admit(c, Priority::kNormal, false, c.capacity, 200.0)
+                .retry_after_ms,
+            2000);
+  // Past the ceiling: still 2000.
+  EXPECT_EQ(admit(c, Priority::kNormal, false, c.capacity, 201.0)
+                .retry_after_ms,
+            2000);
+}
+
+TEST(ServeAdmission, NormalDrainsBeforeBatchAcrossClients) {
+  // Lane priority holds under mixed per-client queues: every normal job
+  // pops before any batch job, even when the batch jobs arrived first.
+  AdmissionQueue<int> q(small_config());
+  EXPECT_TRUE(q.try_push(100, Priority::kBatch, false, "a").admitted);
+  EXPECT_TRUE(q.try_push(200, Priority::kBatch, false, "b").admitted);
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "b").admitted);
+  EXPECT_TRUE(q.try_push(2, Priority::kNormal, false, "a").admitted);
+  EXPECT_EQ(q.pop().value(), 1);    // normal lane first (b, then a: DRR
+  EXPECT_EQ(q.pop().value(), 2);    // rotation is arrival order)
+  EXPECT_EQ(q.pop().value(), 100);  // then batch
+  EXPECT_EQ(q.pop().value(), 200);
+}
+
+// --- per-client fairness ---------------------------------------------------
+
+using QClock = AdmissionQueue<int>::Clock;
+
+AdmissionConfig quota_config(double rate, double burst) {
+  AdmissionConfig c = small_config();
+  c.fairness.quota_rate_per_s = rate;
+  c.fairness.quota_burst = burst;
+  return c;
+}
+
+TEST(ServeAdmission, TokenBucketRejectsPastBurst) {
+  AdmissionQueue<int> q(quota_config(1.0, 2.0));
+  const QClock::time_point t0 = QClock::now();
+  // A fresh client starts with a full bucket: `burst` pushes land.
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_TRUE(q.try_push(2, Priority::kNormal, false, "a", t0).admitted);
+  const AdmissionDecision d =
+      q.try_push(3, Priority::kNormal, false, "a", t0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.reason, ErrorCode::kQuotaExceeded);
+  EXPECT_GE(d.retry_after_ms, q.config().retry_after_min_ms);
+  EXPECT_LE(d.retry_after_ms, q.config().retry_after_max_ms);
+  // Other clients are untouched by a's empty bucket.
+  EXPECT_TRUE(q.try_push(9, Priority::kNormal, false, "b", t0).admitted);
+}
+
+TEST(ServeAdmission, TokenBucketRefillsWithTime) {
+  AdmissionQueue<int> q(quota_config(2.0, 2.0));  // 2 tokens/s
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_TRUE(q.try_push(2, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_FALSE(q.try_push(3, Priority::kNormal, false, "a", t0).admitted);
+  // 600 ms later 1.2 tokens have accrued: one more push fits, two do not.
+  const QClock::time_point t1 = t0 + std::chrono::milliseconds(600);
+  EXPECT_TRUE(q.try_push(4, Priority::kNormal, false, "a", t1).admitted);
+  EXPECT_FALSE(q.try_push(5, Priority::kNormal, false, "a", t1).admitted);
+  // Refill caps at burst, never beyond: a long idle stretch buys exactly
+  // `burst` pushes.
+  const QClock::time_point t2 = t0 + std::chrono::hours(1);
+  EXPECT_TRUE(q.try_push(6, Priority::kNormal, false, "a", t2).admitted);
+  EXPECT_TRUE(q.try_push(7, Priority::kNormal, false, "a", t2).admitted);
+  EXPECT_FALSE(q.try_push(8, Priority::kNormal, false, "a", t2).admitted);
+}
+
+TEST(ServeAdmission, QuotaHintCoversTokenAccrual) {
+  // With an empty bucket and an idle queue, the hint is the time to the
+  // next token: 1 token at 0.5/s = 2000 ms (the clamp ceiling here).
+  AdmissionQueue<int> q(quota_config(0.5, 1.0));
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  const AdmissionDecision d =
+      q.try_push(2, Priority::kNormal, false, "a", t0);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.retry_after_ms, 2000);
+}
+
+TEST(ServeAdmission, ControlIsNeverQuotaLimited) {
+  AdmissionQueue<int> q(quota_config(1.0, 1.0));
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_FALSE(q.try_push(2, Priority::kNormal, false, "a", t0).admitted);
+  // Control flows with the same identity and an empty bucket, and does not
+  // spend tokens either.
+  EXPECT_TRUE(q.try_push(3, Priority::kControl, false, "a", t0).admitted);
+}
+
+TEST(ServeAdmission, QuotaDisabledByDefault) {
+  AdmissionQueue<int> q(small_config());  // rate 0
+  const QClock::time_point t0 = QClock::now();
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(q.try_push(i, Priority::kNormal, false, "a", t0).admitted);
+  }
+}
+
+TEST(ServeAdmission, DeficitRoundRobinInterleavesClients) {
+  // A floods 3 requests before B lands 1: the pop order alternates per
+  // request (quantum 1) instead of draining A first.
+  AdmissionQueue<int> q(small_config());
+  EXPECT_TRUE(q.try_push(11, Priority::kNormal, false, "a").admitted);
+  EXPECT_TRUE(q.try_push(12, Priority::kNormal, false, "a").admitted);
+  EXPECT_TRUE(q.try_push(13, Priority::kNormal, false, "a").admitted);
+  EXPECT_TRUE(q.try_push(21, Priority::kNormal, false, "b").admitted);
+  EXPECT_EQ(q.pop().value(), 11);
+  EXPECT_EQ(q.pop().value(), 21);  // b's turn despite a's backlog
+  EXPECT_EQ(q.pop().value(), 12);
+  EXPECT_EQ(q.pop().value(), 13);
+}
+
+TEST(ServeAdmission, DrrQuantumGrantsRuns) {
+  AdmissionConfig c = small_config();
+  c.fairness.drr_quantum = 2;
+  AdmissionQueue<int> q(c);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_push(10 + i, Priority::kNormal, false, "a").admitted);
+    EXPECT_TRUE(q.try_push(20 + i, Priority::kNormal, false, "b").admitted);
+  }
+  // Two per turn: a,a,b,b,a,a,b,b.
+  EXPECT_EQ(q.pop().value(), 10);
+  EXPECT_EQ(q.pop().value(), 11);
+  EXPECT_EQ(q.pop().value(), 20);
+  EXPECT_EQ(q.pop().value(), 21);
+  EXPECT_EQ(q.pop().value(), 12);
+  EXPECT_EQ(q.pop().value(), 13);
+  EXPECT_EQ(q.pop().value(), 22);
+  EXPECT_EQ(q.pop().value(), 23);
+}
+
+TEST(ServeAdmission, ClientSnapshotsTrackOutcomes) {
+  AdmissionQueue<int> q(quota_config(1.0, 1.0));
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "b", t0).admitted);
+  EXPECT_TRUE(q.try_push(2, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_FALSE(q.try_push(3, Priority::kNormal, false, "a", t0).admitted);
+  (void)q.pop();
+  (void)q.pop();
+  q.record_done("a");
+  const std::vector<ClientSnapshot> snap = q.clients();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, "a");  // sorted by id
+  EXPECT_EQ(snap[0].accepted, 1u);
+  EXPECT_EQ(snap[0].completed, 1u);
+  EXPECT_EQ(snap[0].rejected_quota, 1u);
+  EXPECT_EQ(snap[0].queued, 0u);
+  EXPECT_EQ(snap[1].id, "b");
+  EXPECT_EQ(snap[1].accepted, 1u);
+  EXPECT_EQ(snap[1].completed, 0u);
+  EXPECT_EQ(snap[1].rejected_quota, 0u);
+}
+
+TEST(ServeAdmission, IdleClientsEvictedPastCap) {
+  AdmissionConfig c = small_config();
+  c.fairness.max_clients = 2;
+  AdmissionQueue<int> q(c);
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  EXPECT_TRUE(q.try_push(
+                   2, Priority::kNormal, false, "b",
+                   t0 + std::chrono::seconds(1))
+                  .admitted);
+  (void)q.pop();
+  (void)q.pop();
+  // A third identity arrives with both queues empty: the least recently
+  // seen ("a") is evicted, the map stays at the cap.
+  EXPECT_TRUE(q.try_push(
+                   3, Priority::kNormal, false, "c",
+                   t0 + std::chrono::seconds(2))
+                  .admitted);
+  const std::vector<ClientSnapshot> snap = q.clients();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, "b");
+  EXPECT_EQ(snap[1].id, "c");
+}
+
+TEST(ServeAdmission, QueuedClientsSurviveEviction) {
+  AdmissionConfig c = small_config();
+  c.fairness.max_clients = 1;
+  AdmissionQueue<int> q(c);
+  const QClock::time_point t0 = QClock::now();
+  EXPECT_TRUE(q.try_push(1, Priority::kNormal, false, "a", t0).admitted);
+  // "a" still has a queued job, so it cannot be evicted; "b" is admitted
+  // anyway (max_clients is a soft cap bounded by capacity).
+  EXPECT_TRUE(q.try_push(
+                   2, Priority::kNormal, false, "b",
+                   t0 + std::chrono::seconds(1))
+                  .admitted);
+  EXPECT_EQ(q.clients().size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
 }  // namespace
 }  // namespace agingsim::serve

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/serve/json.hpp"
 
@@ -132,6 +136,155 @@ TEST(ServeProtocol, ErrorMessagesAreJsonEscaped) {
   ASSERT_TRUE(doc.has_value());
   EXPECT_EQ(doc->find("error")->str_or("message", ""),
             "quote \" backslash \\ newline \n done");
+}
+
+// --- adversarial decoder input ---------------------------------------------
+
+TEST(ServeProtocol, DecoderTornLengthPrefix) {
+  // The 4 header bytes arrive one at a time across feeds; no frame until
+  // the payload completes, and mid_frame() holds from the first byte on.
+  const std::string frame = encode_frame("\"torn\"");
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.mid_frame());
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(decoder.feed(std::string_view(frame.data() + i, 1)));
+    EXPECT_TRUE(decoder.mid_frame());
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+  ASSERT_TRUE(decoder.feed(std::string_view(frame).substr(4)));
+  EXPECT_EQ(decoder.next().value(), "\"torn\"");
+  EXPECT_FALSE(decoder.mid_frame());
+}
+
+TEST(ServeProtocol, DecoderMaxFrameBoundary) {
+  // Exactly kMaxFrameBytes is legal and round-trips.
+  const std::string max_payload(kMaxFrameBytes, 'x');
+  FrameDecoder ok;
+  ASSERT_TRUE(ok.feed(encode_frame(max_payload)));
+  const auto out = ok.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), kMaxFrameBytes);
+
+  // kMaxFrameBytes + 1 poisons the moment the 4th header byte lands —
+  // regardless of how the header was torn across feeds.
+  for (std::size_t split = 0; split < 4; ++split) {
+    std::string evil(4, '\0');
+    const std::uint32_t len = kMaxFrameBytes + 1;
+    std::memcpy(evil.data(), &len, 4);
+    FrameDecoder poisoned;
+    if (split > 0) {
+      ASSERT_TRUE(poisoned.feed(std::string_view(evil.data(), split)))
+          << "split " << split;
+      EXPECT_TRUE(poisoned.mid_frame()) << "split " << split;
+    }
+    EXPECT_FALSE(
+        poisoned.feed(std::string_view(evil.data() + split, 4 - split)))
+        << "split " << split;
+    EXPECT_TRUE(poisoned.poisoned()) << "split " << split;
+  }
+}
+
+TEST(ServeProtocol, DecoderPoisonIsPermanent) {
+  std::string evil(4, '\xFF');  // length 0xFFFFFFFF
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.feed(evil));
+  ASSERT_TRUE(decoder.poisoned());
+  // Any amount of perfectly valid follow-up traffic stays dead.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(decoder.feed(encode_frame("{}")));
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.poisoned());
+  }
+}
+
+TEST(ServeProtocol, DecoderEmptyPayloadFrames) {
+  // A zero-length payload is a legal frame, even back to back.
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.feed(encode_frame("") + encode_frame("")));
+  EXPECT_EQ(decoder.next().value(), "");
+  EXPECT_EQ(decoder.next().value(), "");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(ServeProtocol, DecoderSeededFuzzRandomChunking) {
+  // Deterministic fuzz: random payload sizes fed in random chunk sizes
+  // must reproduce every payload, in order, with no leftover bytes.
+  std::uint64_t state = 0x5EEDu;
+  const auto rnd = [&state] {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  };
+  std::vector<std::string> payloads;
+  std::string stream;
+  for (int i = 0; i < 64; ++i) {
+    std::string p(rnd() % 300, char('a' + i % 26));
+    payloads.push_back(p);
+    stream += encode_frame(p);
+  }
+  FrameDecoder decoder;
+  std::vector<std::string> got;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rnd() % 7, stream.size() - off);
+    ASSERT_TRUE(decoder.feed(std::string_view(stream).substr(off, n)));
+    off += n;
+    while (auto f = decoder.next()) got.push_back(std::move(*f));
+  }
+  EXPECT_EQ(got, payloads);
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// --- client identity and streaming frames ----------------------------------
+
+TEST(ServeProtocol, ValidClientId) {
+  EXPECT_TRUE(valid_client_id("ci-paced"));
+  EXPECT_TRUE(valid_client_id("A.b_c-9"));
+  EXPECT_TRUE(valid_client_id(std::string(64, 'x')));
+  EXPECT_FALSE(valid_client_id(""));
+  EXPECT_FALSE(valid_client_id(std::string(65, 'x')));
+  EXPECT_FALSE(valid_client_id("has space"));
+  EXPECT_FALSE(valid_client_id("quote\""));
+  EXPECT_FALSE(valid_client_id("new\nline"));
+}
+
+TEST(ServeProtocol, ParseRequestClientId) {
+  std::string error;
+  const auto req = parse_request(
+      R"({"id": 1, "method": "work", "client_id": "ci-a"})", &error);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->client_id, "ci-a");
+  // Absent client_id stays empty (connection identity takes over).
+  const auto anon =
+      parse_request(R"({"id": 2, "method": "work"})", &error);
+  ASSERT_TRUE(anon.has_value());
+  EXPECT_TRUE(anon->client_id.empty());
+  // Malformed identities are bad_request, not silently accepted.
+  EXPECT_FALSE(parse_request(
+                   R"({"id": 3, "method": "work", "client_id": ""})", &error)
+                   .has_value());
+  EXPECT_FALSE(parse_request(
+                   R"({"id": 4, "method": "work", "client_id": 7})", &error)
+                   .has_value());
+}
+
+TEST(ServeProtocol, StreamFrameShape) {
+  const std::string frame = stream_frame(7, 3, 3, 9, R"({"x": 1})");
+  const auto doc = parse_json(frame);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64_or("id", 0), 7u);
+  EXPECT_EQ(doc->u64_or("stream", 0), 3u);
+  EXPECT_EQ(doc->u64_or("units_done", 0), 3u);
+  EXPECT_EQ(doc->u64_or("units_total", 0), 9u);
+  ASSERT_NE(doc->find("partial_stats"), nullptr);
+  EXPECT_EQ(doc->find("partial_stats")->i64_or("x", 0), 1);
+  // The discriminator clients rely on: progress frames carry "stream",
+  // final responses never do.
+  EXPECT_EQ(parse_json(ok_response(7, "{}"))->find("stream"), nullptr);
 }
 
 }  // namespace

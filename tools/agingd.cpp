@@ -67,6 +67,20 @@ void print_usage(std::ostream& os) {
         " work [5000]\n"
         "  --cache-mb N         aged-state cache budget in MiB"
         " [$AGINGSIM_SERVE_CACHE_MB or 64]\n"
+        "  --quota-rate R       per-client token-bucket refill req/s, 0 ="
+        " quotas off [$AGINGSIM_SERVE_QUOTA_RATE or 0]\n"
+        "  --quota-burst B      per-client token-bucket capacity"
+        " [$AGINGSIM_SERVE_QUOTA_BURST or 32]\n"
+        "  --read-deadline-ms N close a connection whose frame stays"
+        " incomplete this long, 0 = off\n"
+        "                       [$AGINGSIM_SERVE_READ_DEADLINE_MS or 10000]\n"
+        "  --idle-timeout-ms N  close connections idle this long (no partial"
+        " frame, nothing in\n"
+        "                       flight), 0 = never"
+        " [$AGINGSIM_SERVE_IDLE_TIMEOUT_MS or 0]\n"
+        "  --max-inflight N     per-connection cap on queued+running"
+        " requests, 0 = off\n"
+        "                       [$AGINGSIM_SERVE_MAX_INFLIGHT or 32]\n"
         "  --checkpoint-dir D   campaign checkpoint root"
         " [$AGINGSIM_SERVE_CHECKPOINT_DIR or none]\n"
         "  --kernel NAME        step kernel for query/campaign traces:\n"
@@ -97,6 +111,16 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       << 20;
   opt.server.service.checkpoint_root =
       env::str_var("AGINGSIM_SERVE_CHECKPOINT_DIR").value_or("");
+  opt.server.admission.fairness.quota_rate_per_s =
+      env::double_or("AGINGSIM_SERVE_QUOTA_RATE", 0.0, 0.0);
+  opt.server.admission.fairness.quota_burst =
+      env::double_or("AGINGSIM_SERVE_QUOTA_BURST", 32.0, 1.0);
+  opt.server.read_deadline_ms =
+      env::long_or("AGINGSIM_SERVE_READ_DEADLINE_MS", 10'000, 0);
+  opt.server.idle_timeout_ms =
+      env::long_or("AGINGSIM_SERVE_IDLE_TIMEOUT_MS", 0, 0);
+  opt.server.max_inflight_per_conn = static_cast<std::uint32_t>(
+      env::long_or("AGINGSIM_SERVE_MAX_INFLIGHT", 32, 0, 1 << 20));
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +171,33 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
     } else if (arg == "--cache-mb") {
       if (!need_long("--cache-mb", 0, parsed)) { exit_code = 2; return std::nullopt; }
       opt.server.cache_budget_bytes = static_cast<std::size_t>(parsed) << 20;
+    } else if (arg == "--quota-rate") {
+      const auto v = need_value("--quota-rate");
+      if (!v || !env::parse_double(*v).has_value() ||
+          *env::parse_double(*v) < 0.0) {
+        std::cerr << "agingd: --quota-rate wants a number >= 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.server.admission.fairness.quota_rate_per_s = *env::parse_double(*v);
+    } else if (arg == "--quota-burst") {
+      const auto v = need_value("--quota-burst");
+      if (!v || !env::parse_double(*v).has_value() ||
+          *env::parse_double(*v) < 1.0) {
+        std::cerr << "agingd: --quota-burst wants a number >= 1\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.server.admission.fairness.quota_burst = *env::parse_double(*v);
+    } else if (arg == "--read-deadline-ms") {
+      if (!need_long("--read-deadline-ms", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.server.read_deadline_ms = parsed;
+    } else if (arg == "--idle-timeout-ms") {
+      if (!need_long("--idle-timeout-ms", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.server.idle_timeout_ms = parsed;
+    } else if (arg == "--max-inflight") {
+      if (!need_long("--max-inflight", 0, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.server.max_inflight_per_conn = static_cast<std::uint32_t>(parsed);
     } else if (arg == "--checkpoint-dir") {
       const auto v = need_value("--checkpoint-dir");
       if (!v) { exit_code = 2; return std::nullopt; }

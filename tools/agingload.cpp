@@ -64,7 +64,22 @@ struct Options {
   double slo_ms = 0.0;       // 0 = no SLO check
   double slo_target = 0.99;  // required compliance when slo_ms > 0
   std::string json_path;
+  /// Fairness identity stamped on every request ("" = none: the daemon
+  /// then buckets by connection). Quota drills run several agingload
+  /// processes with distinct ids against one daemon.
+  std::string client_id;
+  /// Closed loop honours retry_after_ms hints with capped, jittered
+  /// exponential backoff; --no-backoff turns a closed-loop client greedy
+  /// (the misbehaving client in fairness drills). Open loop never backs
+  /// off — its entire point is holding the offered rate fixed.
+  bool backoff = true;
+  std::uint64_t seed = 1;  ///< backoff jitter PRNG seed (deterministic)
 };
+
+/// Ceiling on one backoff sleep. 2^n growth hits this after a few
+/// consecutive rejections; the cap keeps a long overload from parking
+/// clients for the rest of the run.
+constexpr double kBackoffCapMs = 5000.0;
 
 /// Outcome tally of one worker thread, merged after the run.
 struct Tally {
@@ -78,8 +93,11 @@ struct Tally {
   std::uint64_t cancelled = 0;
   std::uint64_t bad_request = 0;
   std::uint64_t internal = 0;
+  std::uint64_t quota_exceeded = 0;
   std::uint64_t transport_errors = 0;
   std::uint64_t missed_ticks = 0;  ///< open loop: schedule slots skipped
+  std::uint64_t retries = 0;       ///< backoff sleeps taken (closed loop)
+  double backoff_ms_total = 0.0;   ///< wall time spent in backoff sleeps
   std::vector<double> ok_latency_us;  ///< accepted requests, post-warmup
 
   void merge(const Tally& other) {
@@ -93,8 +111,11 @@ struct Tally {
     cancelled += other.cancelled;
     bad_request += other.bad_request;
     internal += other.internal;
+    quota_exceeded += other.quota_exceeded;
     transport_errors += other.transport_errors;
     missed_ticks += other.missed_ticks;
+    retries += other.retries;
+    backoff_ms_total += other.backoff_ms_total;
     ok_latency_us.insert(ok_latency_us.end(), other.ok_latency_us.begin(),
                          other.ok_latency_us.end());
   }
@@ -117,6 +138,11 @@ void print_usage(std::ostream& os) {
         "  --deadline-ms N   per-request deadline, 0 = server default [0]\n"
         "  --slo-ms X        latency SLO for accepted requests, 0 = off [0]\n"
         "  --slo-target F    required compliance fraction [0.99]\n"
+        "  --client-id NAME  fairness identity sent with every request"
+        " (1..64 of [A-Za-z0-9._-])\n"
+        "  --no-backoff      ignore retry_after_ms hints in closed-loop"
+        " mode (greedy client)\n"
+        "  --seed N          backoff jitter PRNG seed [1]\n"
         "  --json PATH       write the report JSON to PATH (atomic)\n"
         "  --help            this text\n";
 }
@@ -211,6 +237,20 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       if (!need_double("--slo-ms", 0.0, opt.slo_ms)) { exit_code = 2; return std::nullopt; }
     } else if (arg == "--slo-target") {
       if (!need_double("--slo-target", 0.0, opt.slo_target)) { exit_code = 2; return std::nullopt; }
+    } else if (arg == "--client-id") {
+      const auto v = need_value("--client-id");
+      if (!v || !serve::valid_client_id(*v)) {
+        std::cerr << "agingload: --client-id wants 1..64 chars of"
+                     " [A-Za-z0-9._-]\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.client_id = *v;
+    } else if (arg == "--no-backoff") {
+      opt.backoff = false;
+    } else if (arg == "--seed") {
+      if (!need_long("--seed", 0, parsed_long)) { exit_code = 2; return std::nullopt; }
+      opt.seed = static_cast<std::uint64_t>(parsed_long);
     } else if (arg == "--json") {
       const auto v = need_value("--json");
       if (!v) { exit_code = 2; return std::nullopt; }
@@ -244,6 +284,7 @@ std::string build_request(const Options& opt, std::uint64_t id) {
   json.begin_object();
   json.key("id").value(id);
   json.key("method").value(opt.method);
+  if (!opt.client_id.empty()) json.key("client_id").value(opt.client_id);
   if (opt.deadline_ms > 0) {
     json.key("deadline_ms").value(static_cast<std::int64_t>(opt.deadline_ms));
   }
@@ -266,10 +307,24 @@ std::string build_request(const Options& opt, std::uint64_t id) {
   return json.str();
 }
 
+/// splitmix64 — the jitter PRNG. Deterministic per (seed, draw index), so
+/// a fairness drill replays its exact backoff schedule.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Sends one request and classifies the response into the tally. Returns
-/// false on a transport error (caller reconnects).
+/// false on a transport error (caller reconnects). `rejected` /
+/// `retry_after_ms` report an admission rejection and its hint, which the
+/// closed loop turns into backoff.
 bool do_request(int fd, const Options& opt, std::uint64_t id, bool measured,
-                Tally& tally) {
+                Tally& tally, bool& rejected, long& retry_after_ms) {
+  rejected = false;
+  retry_after_ms = 0;
   const std::string request = build_request(opt, id);
   ++tally.sent;
   const Clock::time_point t0 = Clock::now();
@@ -301,11 +356,19 @@ bool do_request(int fd, const Options& opt, std::uint64_t id, bool measured,
   if (code == "overloaded") ++tally.overloaded;
   else if (code == "shed_refill") ++tally.shed_refill;
   else if (code == "shed_batch") ++tally.shed_batch;
+  else if (code == "quota_exceeded") ++tally.quota_exceeded;
   else if (code == "draining") ++tally.draining;
   else if (code == "timeout") ++tally.timeout;
   else if (code == "cancelled") ++tally.cancelled;
   else if (code == "bad_request") ++tally.bad_request;
   else ++tally.internal;
+  if (code == "overloaded" || code == "shed_refill" ||
+      code == "shed_batch" || code == "quota_exceeded") {
+    rejected = true;
+    if (error != nullptr) {
+      retry_after_ms = static_cast<long>(error->i64_or("retry_after_ms", 0));
+    }
+  }
   return true;
 }
 
@@ -353,6 +416,9 @@ int run_load(const Options& opt) {
       const auto interval = std::chrono::duration_cast<Clock::duration>(
           std::chrono::duration<double>(1.0 / per_conn_rate));
       Clock::time_point next = Clock::now();
+      std::uint64_t rng =
+          opt.seed ^ (static_cast<std::uint64_t>(c) * 0xD1B54A32D192ED03ull);
+      int consecutive_rejections = 0;
       while (Clock::now() < end) {
         if (open_loop) {
           // Absolute scheduling: intervals are anchored to the original
@@ -378,10 +444,43 @@ int run_load(const Options& opt) {
           }
         }
         const bool measured = Clock::now() >= warmup_end;
-        if (!do_request(fd, opt, ++id, measured, tally)) {
+        bool was_rejected = false;
+        long hint_ms = 0;
+        if (!do_request(fd, opt, ++id, measured, tally, was_rejected,
+                        hint_ms)) {
           ::close(fd);
           fd = -1;
+          continue;
         }
+        if (open_loop || !opt.backoff) continue;
+        // Closed loop honours the daemon's hint: exponential growth over
+        // consecutive rejections, capped, with ±25% jitter so a fleet of
+        // clients rejected together does not retry in lockstep.
+        if (!was_rejected) {
+          consecutive_rejections = 0;
+          continue;
+        }
+        consecutive_rejections = std::min(consecutive_rejections + 1, 16);
+        const double base_ms = hint_ms > 0 ? static_cast<double>(hint_ms)
+                                           : 10.0;
+        const double exp_ms = std::min(
+            kBackoffCapMs,
+            base_ms * static_cast<double>(1u << std::min(
+                          consecutive_rejections - 1, 10)));
+        const double jitter =
+            0.75 + 0.5 * (static_cast<double>(splitmix64(rng) >> 11) *
+                          0x1.0p-53);
+        double sleep_ms = std::min(kBackoffCapMs, exp_ms * jitter);
+        // Never sleep past the end of the run.
+        const double left_ms = std::chrono::duration<double, std::milli>(
+                                   end - Clock::now())
+                                   .count();
+        if (left_ms <= 0.0) continue;
+        sleep_ms = std::min(sleep_ms, left_ms);
+        ++tally.retries;
+        tally.backoff_ms_total += sleep_ms;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
       }
       if (fd >= 0) ::close(fd);
     });
@@ -399,7 +498,8 @@ int run_load(const Options& opt) {
   if (!lat.empty()) mean_us /= static_cast<double>(lat.size());
 
   const std::uint64_t rejected = total.overloaded + total.shed_refill +
-                                 total.shed_batch + total.draining;
+                                 total.shed_batch + total.quota_exceeded +
+                                 total.draining;
   double slo_compliance = 1.0;
   if (opt.slo_ms > 0.0 && !lat.empty()) {
     const auto under = std::upper_bound(lat.begin(), lat.end(),
@@ -413,6 +513,7 @@ int run_load(const Options& opt) {
   json.key("tool").value("agingload");
   json.key("mode").value(opt.mode);
   json.key("method").value(opt.method);
+  if (!opt.client_id.empty()) json.key("client_id").value(opt.client_id);
   json.key("conns").value(opt.conns);
   if (opt.mode == "open") json.key("offered_rps").value(opt.rate);
   json.key("duration_s").value(opt.duration_s);
@@ -423,6 +524,7 @@ int run_load(const Options& opt) {
   json.key("overloaded").value(total.overloaded);
   json.key("shed_refill").value(total.shed_refill);
   json.key("shed_batch").value(total.shed_batch);
+  json.key("quota_exceeded").value(total.quota_exceeded);
   json.key("draining").value(total.draining);
   json.end_object();
   json.key("timeout").value(total.timeout);
@@ -431,6 +533,8 @@ int run_load(const Options& opt) {
   json.key("internal").value(total.internal);
   json.key("transport_errors").value(total.transport_errors);
   json.key("missed_ticks").value(total.missed_ticks);
+  json.key("retries").value(total.retries);
+  json.key("backoff_ms_total").value(total.backoff_ms_total);
   json.key("achieved_rps")
       .value(static_cast<double>(total.sent) / elapsed_s);
   json.key("ok_rps").value(static_cast<double>(total.ok) / elapsed_s);
