@@ -1,0 +1,53 @@
+// Monte-Carlo reliability-distribution study (extension, docs/MODEL.md
+// "Reliability as a distribution", ROADMAP item 2).
+//
+// The deterministic seven-year benches report THE chip; this bench samples
+// a population of dies — correlated process variation composed with
+// stochastic-aging jitter — for the 16x16 AM/CB/RB multipliers and
+// reports, as JSON on stdout:
+//
+//  - p50/p99/p99.99 bands of the worst-case die delay per evaluation year
+//    (the guard-band a yield target actually implies, vs the single
+//    nominal number);
+//  - the same bands for the rate of ops violating the fresh-critical-path
+//    period;
+//  - the 7-year "failure probability vs clock period" surface per
+//    architecture — the fraction of dies that miss timing at each
+//    candidate period after the full aging horizon.
+//
+// Expectations: the aged p99.99 delay sits well above the aged p50 (the
+// tail, not the median, sets the shipping frequency); bypassing
+// multipliers keep their fresh-delay advantage across the whole
+// distribution; every surface is monotone non-increasing in the period.
+//
+// Knobs: AGINGSIM_BENCH_OPS caps ops per trial (CI smoke runs),
+// AGINGSIM_MC_TRIALS the dies per architecture.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "src/core/env.hpp"
+#include "src/mc/mc_campaign.hpp"
+#include "src/mc/mc_report.hpp"
+#include "src/report/json.hpp"
+
+using namespace agingsim;
+
+int main() {
+  mc::McCampaignConfig cfg;
+  cfg.width = 16;
+  cfg.trials =
+      static_cast<int>(env::long_or("AGINGSIM_MC_TRIALS", 256, 1));
+  cfg.ops = std::min<std::size_t>(bench::default_ops(), 256);
+  const mc::McCampaign campaign(bench::tech(), cfg);
+  const mc::McResult result = campaign.run();
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("mc_quantiles");
+  mc::write_mc_json(json, campaign.config(), result, mc::McReportOptions{});
+  json.end_object();
+  std::printf("%s\n", json.str().c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "src/core/quantile.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace agingsim::quantile {
+namespace {
+
+void check_q(double q) {
+  if (!(q >= 0.0) || !(q <= 1.0)) {
+    throw std::invalid_argument("quantile: q must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+double nearest_rank(std::span<const double> sorted, double q) {
+  check_q(q);
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  // ceil(q*n)-1 as the 0-based rank; q = 0 would give rank -1, so clamp
+  // from below too (the "at least 0 samples" quantile is the minimum).
+  const double rank = std::ceil(q * n) - 1.0;
+  std::size_t idx = rank <= 0.0 ? 0 : static_cast<std::size_t>(rank);
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+double interpolated(std::span<const double> sorted, double q) {
+  check_q(q);
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : sorted.size() - 1;
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double inverse_normal_cdf(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument(
+        "inverse_normal_cdf: p must be strictly inside (0, 1)");
+  }
+  // Acklam's rational approximation: central region plus two tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double r = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+            c[5]) /
+           ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double r = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * r + c[1]) * r + c[2]) * r + c[3]) * r + c[4]) * r +
+             c[5]) /
+           ((((d[0] * r + d[1]) * r + d[2]) * r + d[3]) * r + 1.0);
+  }
+  const double u = p - 0.5;
+  const double r = u * u;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         u /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace agingsim::quantile

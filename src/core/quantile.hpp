@@ -1,0 +1,44 @@
+#pragma once
+
+// The repository's single quantile convention (docs/MODEL.md).
+//
+// Three quantile definitions grew independently — the fault campaign's
+// nearest-rank helper indexed at floor(q*N) (one rank high of the textbook
+// definition), agingload interpolated, and the histogram walked bins — and
+// their answers disagreed on the same data. Everything now reports through
+// these two functions:
+//
+//  - nearest_rank: the classical "smallest sample v such that at least q*N
+//    samples are <= v" — index ceil(q*N)-1, clamped to [0, N-1]. Always an
+//    actual sample, so campaign outputs stay bit-exact under checkpoint
+//    resume and thread-count changes. This is what campaign quantiles and
+//    the Monte-Carlo band reports use.
+//  - interpolated: Hyndman–Fan type 7 (position q*(N-1), linear between
+//    the straddling samples) — what agingload's latency percentiles use,
+//    matching numpy/R defaults so SLO numbers compare across tools.
+//
+// Plus the standard-normal quantile function (inverse CDF), used by the MC
+// engine's stratified sampling to map stratified uniforms onto normals.
+
+#include <span>
+
+namespace agingsim::quantile {
+
+/// Nearest-rank quantile of an ascending-sorted sample: sorted[ceil(q*N)-1]
+/// clamped to [0, N-1] (q = 0 gives the first sample, q = 1 the last).
+/// Returns 0.0 for an empty span; throws std::invalid_argument unless
+/// q is in [0, 1].
+double nearest_rank(std::span<const double> sorted, double q);
+
+/// Linearly interpolated quantile (Hyndman–Fan type 7) of an ascending-
+/// sorted sample: position q*(N-1), linear between the two straddling
+/// samples. Returns 0.0 for an empty span; throws std::invalid_argument
+/// unless q is in [0, 1].
+double interpolated(std::span<const double> sorted, double q);
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, absolute
+/// error < 1.2e-9 over (0, 1)). Throws std::invalid_argument unless p is
+/// strictly inside (0, 1).
+double inverse_normal_cdf(double p);
+
+}  // namespace agingsim::quantile

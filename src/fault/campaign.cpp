@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/quantile.hpp"
 #include "src/exec/thread_pool.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -110,10 +111,7 @@ double delay_percentile_ps(std::span<const OpTrace> trace, double q) {
   delays.reserve(trace.size());
   for (const OpTrace& op : trace) delays.push_back(op.delay_ps);
   std::sort(delays.begin(), delays.end());
-  const std::size_t idx = std::min(
-      delays.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(delays.size())));
-  return delays[idx];
+  return quantile::nearest_rank(delays, q);
 }
 
 double max_delay_ps(std::span<const OpTrace> trace) {

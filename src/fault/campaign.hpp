@@ -78,6 +78,9 @@ FaultOverlay output_cone_delay_overlay(const Netlist& netlist, double factor,
 
 /// q-th percentile (q in [0, 1]) of the per-op path delays; 0 for an empty
 /// trace. Used to pick demonstration periods with a known violation rate.
+///// Nearest-rank convention (src/core/quantile.hpp): the smallest delay d
+/// such that at least q*N of the ops are <= d — the historic floor(q*N)
+/// index sat one rank high of this.
 double delay_percentile_ps(std::span<const OpTrace> trace, double q);
 
 /// Largest per-op path delay in the trace (0 for an empty trace). A period

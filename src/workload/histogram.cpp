@@ -36,17 +36,20 @@ double Histogram::bin_lo(int bin) const noexcept {
 
 double Histogram::fraction_below(double x) const noexcept {
   if (total_ == 0) return 0.0;
-  std::uint64_t below = 0;
+  // Accumulate in double: the straddling bin contributes a fractional
+  // count, and truncating it through an integer systematically under-counts
+  // (a half-full straddle used to round down to whole samples).
+  double below = 0.0;
   for (int b = 0; b < num_bins(); ++b) {
     if (bin_hi(b) <= x) {
-      below += count(b);
+      below += static_cast<double>(count(b));
     } else if (bin_lo(b) < x) {
       // Linear interpolation inside the straddling bin.
       const double frac = (x - bin_lo(b)) / (bin_hi(b) - bin_lo(b));
-      below += static_cast<std::uint64_t>(frac * static_cast<double>(count(b)));
+      below += frac * static_cast<double>(count(b));
     }
   }
-  return static_cast<double>(below) / static_cast<double>(total_);
+  return below / static_cast<double>(total_);
 }
 
 double Histogram::percentile(double p) const noexcept {
@@ -54,6 +57,10 @@ double Histogram::percentile(double p) const noexcept {
   const double target = p * static_cast<double>(total_);
   double cum = 0.0;
   for (int b = 0; b < num_bins(); ++b) {
+    // Empty bins can never satisfy the rank: without this skip a target of
+    // 0 (p = 0, or tiny p) returned bin_hi(0) even when bin 0 held no
+    // samples — an answer below every sample in the histogram.
+    if (count(b) == 0) continue;
     cum += static_cast<double>(count(b));
     if (cum >= target) return bin_hi(b);
   }

@@ -27,8 +27,10 @@ class Histogram {
   /// Fraction of samples strictly below `x` (bin-resolution accurate).
   double fraction_below(double x) const noexcept;
 
-  /// Smallest value v such that at least `p` (0..1] of samples are <= v,
-  /// reported at bin-upper-edge resolution.
+  /// Smallest value v such that at least `p` (in [0, 1]) of samples are
+  /// <= v, reported at bin-upper-edge resolution. Empty bins are skipped,
+  /// so the answer is always the upper edge of a bin that actually holds
+  /// samples (p = 0 degenerates to the first non-empty bin's upper edge).
   double percentile(double p) const noexcept;
 
   double mean() const noexcept { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }

@@ -249,5 +249,19 @@ TEST_F(FaultCampaignTest, TraceHelpers) {
                std::invalid_argument);
 }
 
+TEST_F(FaultCampaignTest, DelayPercentileUsesNearestRank) {
+  // Convention pin (src/core/quantile.hpp): on N=4 delays the median is the
+  // 2nd sample — the historic floor(q*N) indexing returned the 3rd.
+  std::vector<OpTrace> trace(4);
+  trace[0].delay_ps = 30.0;
+  trace[1].delay_ps = 10.0;
+  trace[2].delay_ps = 40.0;
+  trace[3].delay_ps = 20.0;
+  EXPECT_DOUBLE_EQ(delay_percentile_ps(trace, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(delay_percentile_ps(trace, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(delay_percentile_ps(trace, 0.75), 30.0);
+  EXPECT_DOUBLE_EQ(delay_percentile_ps(trace, 1.0), 40.0);
+}
+
 }  // namespace
 }  // namespace agingsim

@@ -55,6 +55,31 @@ TEST(HistogramTest, Percentile) {
   EXPECT_NEAR(h.percentile(1.0), 10.0, 1e-9);
 }
 
+TEST(HistogramTest, FractionBelowInterpolatesWithinABin) {
+  // Regression: the straddling bin's fractional count was accumulated into
+  // a uint64_t, truncating e.g. 1.5 samples to 1 — three samples in one
+  // bin used to report fraction_below(mid) = 1/3 instead of 1/2.
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.3);
+  EXPECT_NEAR(h.fraction_below(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(h.fraction_below(0.25), 0.25, 1e-9);  // 0.75 samples, not 0
+}
+
+TEST(HistogramTest, PercentileSkipsEmptyLeadingBins) {
+  // Regression: percentile(0.0) tripped `cum >= target` on bin 0 even when
+  // it held no samples, reporting the first bin's upper edge (1.0 here)
+  // instead of a value any sample actually reaches.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.5);
+  h.add(5.6);
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 6.0);  // first NON-EMPTY bin's edge
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
 TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);

@@ -1,0 +1,85 @@
+// Convention-pinning tests for src/core/quantile.hpp: three quantile
+// definitions used to disagree across the repo, and these tests nail the
+// two surviving conventions to concrete values so a regression to any of
+// the historic off-by-one variants (floor(q*N) indexing, bin walking)
+// fails loudly.
+
+#include "src/core/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace agingsim {
+namespace {
+
+TEST(QuantileTest, NearestRankPinnedValues) {
+  const std::vector<double> s = {10.0, 20.0, 30.0, 40.0};
+  // ceil(q*N)-1: the smallest sample with at least q*N samples <= it.
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 0.5), 20.0);  // NOT 30 (floor bias)
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 0.51), 30.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 0.75), 30.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(s, 1.0), 40.0);
+}
+
+TEST(QuantileTest, NearestRankIsAlwaysAnActualSample) {
+  const std::vector<double> s = {1.5, 2.5, 7.0};
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = quantile::nearest_rank(s, q);
+    EXPECT_TRUE(v == 1.5 || v == 2.5 || v == 7.0) << "q=" << q << " v=" << v;
+  }
+}
+
+TEST(QuantileTest, NearestRankDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank({}, 0.5), 0.0);
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(quantile::nearest_rank(one, 1.0), 42.0);
+}
+
+TEST(QuantileTest, InterpolatedPinnedValues) {
+  const std::vector<double> s = {10.0, 20.0, 30.0, 40.0};
+  // Hyndman-Fan type 7: position q*(N-1), linear between samples — the
+  // numpy/R default, so agingload SLO numbers compare across tools.
+  EXPECT_DOUBLE_EQ(quantile::interpolated(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile::interpolated(s, 0.5), 25.0);
+  EXPECT_NEAR(quantile::interpolated(s, 1.0 / 3.0), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(quantile::interpolated(s, 0.75), 32.5);
+  EXPECT_DOUBLE_EQ(quantile::interpolated(s, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile::interpolated({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, BothConventionsRejectOutOfRangeQ) {
+  const std::vector<double> s = {1.0, 2.0};
+  EXPECT_THROW(quantile::nearest_rank(s, -0.01), std::invalid_argument);
+  EXPECT_THROW(quantile::nearest_rank(s, 1.01), std::invalid_argument);
+  EXPECT_THROW(quantile::interpolated(s, -0.01), std::invalid_argument);
+  EXPECT_THROW(quantile::interpolated(s, 1.01), std::invalid_argument);
+}
+
+TEST(QuantileTest, InverseNormalCdfReferencePoints) {
+  EXPECT_NEAR(quantile::inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(quantile::inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(quantile::inverse_normal_cdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(quantile::inverse_normal_cdf(0.8413447), 1.0, 1e-5);
+  // Symmetric and strictly monotone across the tails the MC stratifier
+  // actually hits (stratum edges of a 16-way split).
+  double prev = quantile::inverse_normal_cdf(1.0 / 64.0);
+  for (int k = 2; k < 64; ++k) {
+    const double p = static_cast<double>(k) / 64.0;
+    const double z = quantile::inverse_normal_cdf(p);
+    EXPECT_GT(z, prev);
+    EXPECT_NEAR(z, -quantile::inverse_normal_cdf(1.0 - p), 1e-8);
+    prev = z;
+  }
+  EXPECT_THROW(quantile::inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(quantile::inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agingsim

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/quantile.hpp"
 #include "src/report/json.hpp"
 #include "src/serve/json.hpp"
 #include "src/serve/protocol.hpp"
@@ -372,13 +373,10 @@ bool do_request(int fd, const Options& opt, std::uint64_t id, bool measured,
   return true;
 }
 
+// Shared repo-wide convention (src/core/quantile.hpp): latency percentiles
+// stay interpolated (numpy/R type 7), campaign quantiles are nearest-rank.
 double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return quantile::interpolated(sorted, q);
 }
 
 int run_load(const Options& opt) {

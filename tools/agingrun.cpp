@@ -1,7 +1,9 @@
 // agingrun — crash-safe campaign runner (docs/ROBUSTNESS.md).
 //
-// Front-end of the src/runtime/ execution layer: runs a FaultCampaign (or
-// a period sweep) under the RobustRunner with checkpoint/resume, watchdog
+// Front-end of the src/runtime/ execution layer: runs a FaultCampaign, a
+// period sweep, or a Monte-Carlo process-variation + stochastic-aging
+// campaign (--campaign mc, docs/MODEL.md) under the RobustRunner with
+// checkpoint/resume, watchdog
 // deadlines, retry-with-backoff, poison-task quarantine and deterministic
 // chaos injection. A run killed at any instant (SIGKILL, OOM, chaos crash)
 // and restarted with --resume completes the remaining work units and
@@ -38,6 +40,8 @@
 #include "bench/common.hpp"
 #include "src/core/env.hpp"
 #include "src/fault/campaign.hpp"
+#include "src/mc/mc_campaign.hpp"
+#include "src/mc/mc_report.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/report/json.hpp"
@@ -102,10 +106,11 @@ class SignalGuard {
 };
 
 struct Options {
-  std::string campaign = "fault";  // fault | sweep
+  std::string campaign = "fault";  // fault | sweep | mc
   int width = 16;
   int trials = 48;
   std::size_t ops = 1500;
+  bool ops_set = false;  // mc defaults ops to 256 unless given
   int sites_per_trial = 2;
   FaultKind kind = FaultKind::kDelayOutlier;
   double delay_factor = 8.0;
@@ -118,6 +123,17 @@ struct Options {
   int max_retries = 3;
   long backoff_ms = 25;
   std::string chaos_spec;  // empty = AGINGSIM_CHAOS / none
+  // Monte-Carlo campaign shape (--campaign mc); trials/ops/seed above are
+  // shared with the fault campaign.
+  std::string arch = "all";  // am | cb | rb | all
+  int block = 32;
+  std::string years = "0,7";
+  int strata = 16;
+  double sigma_random = 0.05;
+  double sigma_grid = 0.03;
+  double sigma_die = 0.03;
+  double sigma_aging = 0.10;
+  int surface_points = 29;
   std::string json_path = "-";
   std::string trace_path;    // empty = AGINGSIM_TRACE / off
   std::string metrics_path;  // empty = AGINGSIM_METRICS / off
@@ -126,11 +142,12 @@ struct Options {
 
 void print_usage(std::ostream& os) {
   os << "usage: agingrun [options]\n"
-        "  --campaign NAME    fault (trial campaign) or sweep (period sweep)"
-        " [fault]\n"
+        "  --campaign NAME    fault (trial campaign), sweep (period sweep)\n"
+        "                     or mc (Monte-Carlo variation + stochastic\n"
+        "                     aging, docs/MODEL.md) [fault]\n"
         "  --width N          multiplier width in [2,32] [16]\n"
-        "  --trials N         fault trials [48]\n"
-        "  --ops N            operations per trial [1500]\n"
+        "  --trials N         trials (fault) / dies per arch (mc) [48]\n"
+        "  --ops N            operations per trial [1500; mc: 256]\n"
         "  --sites N          fault sites per trial [2]\n"
         "  --kind NAME        stuck0|stuck1|transient|delay [delay]\n"
         "  --delay-factor F   delay multiplier for kind=delay [8.0]\n"
@@ -138,6 +155,18 @@ void print_usage(std::ostream& os) {
         "  --period-frac F    cycle period as a fraction of the fresh\n"
         "                     critical path [0.58]\n"
         "  --sweep-points N   points for --campaign sweep [32]\n"
+        "  --arch NAME        mc: am|cb|rb|all [all]\n"
+        "  --block N          mc: trials per checkpoint unit [32]\n"
+        "  --years LIST       mc: comma-separated evaluation years [0,7]\n"
+        "  --strata N         mc: die-normal strata (variance reduction,\n"
+        "                     1 = plain sampling) [16]\n"
+        "  --sigma-random F   mc: independent per-gate lognormal sigma"
+        " [0.05]\n"
+        "  --sigma-grid F     mc: correlated level-grid lognormal sigma"
+        " [0.03]\n"
+        "  --sigma-die F      mc: die-to-die lognormal sigma [0.03]\n"
+        "  --sigma-aging F    mc: stochastic-aging jitter sigma [0.10]\n"
+        "  --surface-points N mc: failure-surface period samples [29]\n"
         "  --checkpoint-dir D persist completed units under D (enables\n"
         "                     crash-safety; no dir = in-memory only)\n"
         "  --resume           keep and reuse existing checkpoints (without\n"
@@ -166,6 +195,38 @@ std::optional<FaultKind> parse_kind(const std::string& name) {
   if (name == "transient") return FaultKind::kTransient;
   if (name == "delay") return FaultKind::kDelayOutlier;
   return std::nullopt;
+}
+
+std::optional<std::vector<MultiplierArch>> parse_arches(
+    const std::string& name) {
+  if (name == "am") return std::vector{MultiplierArch::kArray};
+  if (name == "cb") return std::vector{MultiplierArch::kColumnBypass};
+  if (name == "rb") return std::vector{MultiplierArch::kRowBypass};
+  if (name == "all") {
+    return std::vector{MultiplierArch::kArray, MultiplierArch::kColumnBypass,
+                       MultiplierArch::kRowBypass};
+  }
+  return std::nullopt;
+}
+
+/// "0,3.5,7" -> {0.0, 3.5, 7.0}; nullopt on malformed or empty input.
+std::optional<std::vector<double>> parse_years(const std::string& spec) {
+  std::vector<double> years;
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double v = std::strtod(p, &end);
+    if (end == p || v < 0.0) return std::nullopt;
+    years.push_back(v);
+    p = end;
+    if (*p == ',') {
+      ++p;
+    } else if (*p != '\0') {
+      return std::nullopt;
+    }
+  }
+  if (years.empty()) return std::nullopt;
+  return years;
 }
 
 std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
@@ -205,8 +266,8 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
       opt.quiet = true;
     } else if (arg == "--campaign") {
       const auto v = need_value("--campaign");
-      if (!v || (*v != "fault" && *v != "sweep")) {
-        std::cerr << "agingrun: --campaign wants fault|sweep\n";
+      if (!v || (*v != "fault" && *v != "sweep" && *v != "mc")) {
+        std::cerr << "agingrun: --campaign wants fault|sweep|mc\n";
         exit_code = 2;
         return std::nullopt;
       }
@@ -223,6 +284,7 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
     } else if (arg == "--ops") {
       if (!need_long("--ops", 1, parsed)) { exit_code = 2; return std::nullopt; }
       opt.ops = static_cast<std::size_t>(parsed);
+      opt.ops_set = true;
     } else if (arg == "--sites") {
       if (!need_long("--sites", 1, parsed)) { exit_code = 2; return std::nullopt; }
       opt.sites_per_trial = static_cast<int>(parsed);
@@ -260,6 +322,46 @@ std::optional<Options> parse_args(int argc, char** argv, int& exit_code) {
     } else if (arg == "--sweep-points") {
       if (!need_long("--sweep-points", 1, parsed)) { exit_code = 2; return std::nullopt; }
       opt.sweep_points = static_cast<int>(parsed);
+    } else if (arg == "--arch") {
+      const auto v = need_value("--arch");
+      if (!v || !parse_arches(*v).has_value()) {
+        std::cerr << "agingrun: --arch wants am|cb|rb|all\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.arch = *v;
+    } else if (arg == "--block") {
+      if (!need_long("--block", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.block = static_cast<int>(parsed);
+    } else if (arg == "--years") {
+      const auto v = need_value("--years");
+      if (!v || !parse_years(*v).has_value()) {
+        std::cerr << "agingrun: --years wants a comma-separated list of\n"
+                     "non-negative numbers, e.g. 0,3.5,7\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      opt.years = *v;
+    } else if (arg == "--strata") {
+      if (!need_long("--strata", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.strata = static_cast<int>(parsed);
+    } else if (arg == "--sigma-random" || arg == "--sigma-grid" ||
+               arg == "--sigma-die" || arg == "--sigma-aging") {
+      const auto v = need_value(arg.c_str());
+      if (!v || !env::parse_double(*v).has_value() ||
+          *env::parse_double(*v) < 0.0) {
+        std::cerr << "agingrun: " << arg << " wants a number >= 0\n";
+        exit_code = 2;
+        return std::nullopt;
+      }
+      const double sigma = *env::parse_double(*v);
+      if (arg == "--sigma-random") opt.sigma_random = sigma;
+      if (arg == "--sigma-grid") opt.sigma_grid = sigma;
+      if (arg == "--sigma-die") opt.sigma_die = sigma;
+      if (arg == "--sigma-aging") opt.sigma_aging = sigma;
+    } else if (arg == "--surface-points") {
+      if (!need_long("--surface-points", 1, parsed)) { exit_code = 2; return std::nullopt; }
+      opt.surface_points = static_cast<int>(parsed);
     } else if (arg == "--checkpoint-dir") {
       const auto v = need_value("--checkpoint-dir");
       if (!v) { exit_code = 2; return std::nullopt; }
@@ -399,16 +501,6 @@ int run_tool(const Options& opt) {
   }
 
   const TechLibrary& lib = bench::tech();
-  const MultiplierNetlist mult = build_column_bypass_multiplier(opt.width);
-  const double crit = critical_path_ps(mult, lib);
-  const auto pats = bench::workload(opt.width, opt.ops);
-
-  VlSystemConfig cfg;
-  cfg.period_ps = opt.period_frac * crit;
-  cfg.ahl.width = opt.width;
-  cfg.ahl.skip = 7;
-  cfg.razor.metastability_window_ps = 5.0;
-  cfg.razor.edge_escape_prob = 0.5;
 
   JsonWriter json;
   json.begin_object();
@@ -416,9 +508,6 @@ int run_tool(const Options& opt) {
   json.key("schema_version").value(std::int64_t{1});
   json.key("campaign").value(opt.campaign);
   json.key("width").value(opt.width);
-  json.key("critical_path_ps").value(crit);
-  json.key("period_ps").value(cfg.period_ps);
-  json.key("ops").value(static_cast<std::uint64_t>(opt.ops));
 
   int exit_code = 0;
   runtime::RunReport report;
@@ -446,7 +535,62 @@ int run_tool(const Options& opt) {
     return true;
   };
 
-  if (opt.campaign == "fault") {
+  if (opt.campaign == "mc") {
+    mc::McCampaignConfig mcfg;
+    mcfg.width = opt.width;
+    mcfg.arches = *parse_arches(opt.arch);
+    mcfg.trials = opt.trials;
+    mcfg.block = opt.block;
+    mcfg.ops = opt.ops_set ? opt.ops : std::size_t{256};
+    mcfg.seed = opt.seed;
+    mcfg.years = *parse_years(opt.years);
+    mcfg.variation.sigma_random = opt.sigma_random;
+    mcfg.variation.sigma_grid = opt.sigma_grid;
+    mcfg.variation.sigma_die = opt.sigma_die;
+    mcfg.sigma_aging = opt.sigma_aging;
+    mcfg.strata = opt.strata;
+    mcfg.period_frac = opt.period_frac;
+    // The batch word kernel is the intended fast path, but an explicit
+    // --kernel (exported as AGINGSIM_KERNEL above) or a pre-set environment
+    // wins — kernels are bit-identical, so the artifact doesn't change.
+    if (std::getenv("AGINGSIM_KERNEL") != nullptr) {
+      mcfg.kernel = SimKernel::kAuto;
+    }
+    const mc::McCampaign campaign(lib, std::move(mcfg));
+    if (!attach_store(campaign.config_digest())) return 3;
+    runtime::RobustRunner runner(runner_config);
+    std::optional<mc::McResult> result;
+    try {
+      result = campaign.run(
+          mc::McRunOptions{.runner = &runner, .report = &report});
+    } catch (const runtime::RunError&) {
+      // A signal-interrupted campaign is not an error: completed seed
+      // blocks are checkpointed, the JSON says so, exit code is 128+signal.
+      if (g_signal == 0) throw;
+    }
+    if (result.has_value()) {
+      mc::McReportOptions report_options;
+      report_options.surface_points = opt.surface_points;
+      mc::write_mc_json(json, campaign.config(), *result, report_options);
+    } else {
+      json.key("interrupted").value(true);
+    }
+  } else if (opt.campaign == "fault") {
+    const MultiplierNetlist mult = build_column_bypass_multiplier(opt.width);
+    const double crit = critical_path_ps(mult, lib);
+    const auto pats = bench::workload(opt.width, opt.ops);
+
+    VlSystemConfig cfg;
+    cfg.period_ps = opt.period_frac * crit;
+    cfg.ahl.width = opt.width;
+    cfg.ahl.skip = 7;
+    cfg.razor.metastability_window_ps = 5.0;
+    cfg.razor.edge_escape_prob = 0.5;
+
+    json.key("critical_path_ps").value(crit);
+    json.key("period_ps").value(cfg.period_ps);
+    json.key("ops").value(static_cast<std::uint64_t>(opt.ops));
+
     FaultCampaignConfig cc;
     cc.kind = opt.kind;
     cc.trials = opt.trials;
@@ -483,6 +627,12 @@ int run_tool(const Options& opt) {
   } else {
     // Period sweep: demonstrate the sweep_periods wiring under the same
     // runtime (unit = one sweep point).
+    const MultiplierNetlist mult = build_column_bypass_multiplier(opt.width);
+    const double crit = critical_path_ps(mult, lib);
+    const auto pats = bench::workload(opt.width, opt.ops);
+    json.key("critical_path_ps").value(crit);
+    json.key("period_ps").value(opt.period_frac * crit);
+    json.key("ops").value(static_cast<std::uint64_t>(opt.ops));
     const auto trace = compute_op_trace(mult, lib, pats);
     const std::vector<double> periods =
         bench::linspace(0.45 * crit, 1.05 * crit, opt.sweep_points);
